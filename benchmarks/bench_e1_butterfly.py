@@ -1,0 +1,39 @@
+"""E1 — Proposition 2.1: BVRAM instructions in O(log n) butterfly steps.
+
+Claim: any BVRAM instruction of work W runs in O(log n) steps (n = O(W)) on a
+butterfly with n log n nodes using only oblivious (greedy) routing.
+"""
+
+from repro.analysis import format_table, log_slope, loglog_slope
+from repro.butterfly import append_route, arithmetic_steps, bm_route_route, sbm_route_route, select_route
+
+
+def _series():
+    sizes = [2**k for k in range(4, 13)]
+    rows = []
+    for n in sizes:
+        rows.append(
+            [
+                n,
+                arithmetic_steps(n).steps,
+                append_route(n // 2, n // 2).steps,
+                bm_route_route([2] * (n // 2)).steps,
+                sbm_route_route([4] * (n // 4), [1] * (n // 4)).steps,
+                select_route([i % 2 for i in range(n)]).steps,
+            ]
+        )
+    return sizes, rows
+
+
+def test_e1_butterfly_steps(benchmark):
+    sizes, rows = _series()
+    print("\nE1  butterfly steps per BVRAM instruction (Prop 2.1)")
+    print(format_table(["n", "arith", "append", "bm_route", "sbm_route", "select"], rows))
+    # shape: steps grow logarithmically (power-law exponent ~0), never linearly
+    for col in range(2, 6):
+        steps = [r[col] for r in rows]
+        assert loglog_slope(sizes, steps).slope < 0.5
+        assert steps[-1] <= steps[0] + 4 * (len(sizes) + 2)
+    # arithmetic needs no communication at all
+    assert all(r[1] == 1 for r in rows)
+    benchmark(lambda: bm_route_route([2] * 512))

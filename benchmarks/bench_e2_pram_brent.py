@@ -1,0 +1,40 @@
+"""E2 — Proposition 3.2: NSC runs on a CREW PRAM (+scans) in O(T + W/p).
+
+Claim: cycles fall as ~W/p until p approaches W/T, then flatten at ~T.
+"""
+
+from repro.algorithms.mergesort import run_mergesort
+from repro.analysis import format_table
+from repro.bvram import run_program
+from repro.bvram.programs import pairwise_sum_program
+from repro.pram import brent_bound, schedule_outcome, schedule_trace
+
+
+def test_e2_brent_scheduling_nsc(benchmark):
+    outcome = run_mergesort(list(range(64, 0, -1)))
+    procs = [1, 2, 4, 8, 16, 32, 64, 128, 256, 1024]
+    rows = []
+    for p in procs:
+        sched = schedule_outcome(outcome.time, outcome.work, p)
+        rows.append([p, sched.cycles, brent_bound(outcome.time, outcome.work, p)])
+    print("\nE2  Brent scheduling of the NSC mergesort evaluation (Prop 3.2)")
+    print(f"    T = {outcome.time}, W = {outcome.work}")
+    print(format_table(["p", "cycles", "T + W/p bound"], rows))
+    cycles = [r[1] for r in rows]
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))          # monotone in p
+    assert cycles[0] >= outcome.work                                 # p=1 pays the work
+    assert cycles[-1] <= 6 * outcome.time                            # saturates near T
+    for p, c, bound in rows:
+        assert c <= 4 * bound                                        # within O(T + W/p)
+    benchmark(lambda: schedule_outcome(outcome.time, outcome.work, 64))
+
+
+def test_e2_brent_scheduling_bvram_trace(benchmark):
+    result = run_program(pairwise_sum_program(), [list(range(256))])
+    procs = [1, 4, 16, 64, 256]
+    rows = [[p, schedule_trace(result.trace, p).cycles] for p in procs]
+    print("\nE2b Brent scheduling of a BVRAM instruction trace")
+    print(format_table(["p", "cycles"], rows))
+    assert rows[0][1] > rows[-1][1]
+    assert rows[-1][1] >= result.time
+    benchmark(lambda: schedule_trace(result.trace, 16))

@@ -1,0 +1,61 @@
+"""E3 — Theorem 4.2: map-recursion -> NSC translation.
+
+Claims: T' = O(T); W' = O(W) for balanced divide-and-conquer trees; for
+unbalanced trees the naive accumulation pays O(v*W) while the staged z_i
+buffers pay only O(v^eps * W).
+"""
+
+from repro.algorithms.quicksort import quicksort_def
+from repro.algorithms.schemata import balanced_sum, skewed_sum
+from repro.analysis import format_table
+from repro.maprec import naive_accumulation_cost, skewed_level_sizes, staged_accumulation_cost, translate
+from repro.nsc import apply_function, from_python
+
+
+def _ratios(defn, sizes):
+    rf, tr = defn.to_recfun(), translate(defn)
+    rows = []
+    for n in sizes:
+        xs = list(range(n))
+        a = apply_function(rf, from_python(xs))
+        b = apply_function(tr, from_python(xs))
+        rows.append([n, a.time, b.time, round(b.time / a.time, 2), a.work, b.work, round(b.work / a.work, 2)])
+    return rows
+
+
+def test_e3_translation_preserves_complexity(benchmark):
+    sizes = [8, 16, 32, 64]
+    print("\nE3  direct recursion vs Theorem 4.2 translation (balanced_sum)")
+    rows_b = _ratios(balanced_sum(), sizes)
+    print(format_table(["n", "T rec", "T nsc", "T ratio", "W rec", "W nsc", "W ratio"], rows_b))
+    print("\nE3  direct recursion vs Theorem 4.2 translation (skewed_sum, unbalanced)")
+    rows_s = _ratios(skewed_sum(), sizes)
+    print(format_table(["n", "T rec", "T nsc", "T ratio", "W rec", "W nsc", "W ratio"], rows_s))
+    # T' = O(T): ratios bounded and not growing for both shapes
+    for rows in (rows_b, rows_s):
+        t_ratios = [r[3] for r in rows]
+        assert t_ratios[-1] <= t_ratios[0] * 1.5 and max(t_ratios) < 6
+    # W' = O(W) for the balanced tree
+    w_ratios = [r[6] for r in rows_b]
+    assert w_ratios[-1] <= w_ratios[0] * 1.5 and max(w_ratios) < 8
+    d = balanced_sum()
+    benchmark(lambda: apply_function(translate(d), from_python(list(range(16)))))
+
+
+def test_e3_staged_buffers_ablation(benchmark):
+    print("\nE3b naive vs staged z_i accumulation on a maximally unbalanced tree")
+    rows = []
+    for leaves in (64, 128, 256, 512):
+        sizes = skewed_level_sizes(leaves)
+        naive = naive_accumulation_cost(sizes)
+        row = [leaves, round(naive.overhead_factor, 1)]
+        for eps in (0.5, 0.25):
+            row.append(round(staged_accumulation_cost(sizes, eps).overhead_factor, 1))
+        rows.append(row)
+    print(format_table(["leaves (=v)", "naive factor", "staged eps=0.5", "staged eps=0.25"], rows))
+    # naive factor grows with v, staged factors stay far below it
+    naive_factors = [r[1] for r in rows]
+    assert naive_factors[-1] > 2 * naive_factors[0]
+    for r in rows:
+        assert r[2] < r[1] and r[3] < r[1]
+    benchmark(lambda: staged_accumulation_cost(skewed_level_sizes(256), 0.5))

@@ -1,0 +1,63 @@
+"""E4 — Section 5 / Figures 1-3: Valiant's O(log n log log n) mergesort in NSC.
+
+Claims: merge runs in O(log log m) parallel time, mergesort in
+O(log n log log n); index/indexsplit are constant-time, linear-work.
+"""
+
+import math
+import random
+
+from repro.algorithms.mergesort import index_fn, run_index, run_merge, run_mergesort
+from repro.analysis import format_table, loglog_slope
+from repro.nsc import apply_function, from_python
+from repro.nsc.types import NAT
+
+
+def test_e4_mergesort_time_shape(benchmark):
+    random.seed(0)
+    sizes = [8, 16, 32, 64, 128, 256]
+    rows = []
+    for n in sizes:
+        xs = random.sample(range(10 * n), n)
+        out = run_mergesort(xs)
+        model = math.log2(n) * max(1.0, math.log2(max(2, math.log2(n))))
+        rows.append([n, out.time, round(out.time / model, 1), out.work])
+    print("\nE4  Valiant mergesort in NSC (Figure 1)")
+    print(format_table(["n", "T", "T / (log n loglog n)", "W"], rows))
+    # time grows strongly sublinearly (the measured exponent mixes the
+    # log n * loglog n product with per-level constants at these sizes)
+    assert loglog_slope(sizes, [r[1] for r in rows]).slope < 0.75
+    # the normalised column stays within a small band (constant factor)
+    norm = [r[2] for r in rows]
+    assert max(norm) <= 3 * min(norm)
+    benchmark(lambda: run_mergesort(random.sample(range(1000), 32)))
+
+
+def test_e4_merge_time_loglog(benchmark):
+    random.seed(1)
+    sizes = [16, 64, 256, 1024]
+    rows = []
+    for n in sizes:
+        a = sorted(random.sample(range(100000), n))
+        b = sorted(random.sample(range(100000), n))
+        out = run_merge(a, b)
+        rows.append([n, out.time, out.work])
+    print("\nE4b Valiant merge (Figure 1): T = O(log log m)")
+    print(format_table(["m = n", "T", "W"], rows))
+    times = [r[1] for r in rows]
+    # 64x more data, barely more parallel time
+    assert times[-1] <= 2.5 * times[0]
+    benchmark(lambda: run_merge(list(range(0, 64, 2)), list(range(1, 64, 2))))
+
+
+def test_e4_index_constant_time_linear_work(benchmark):
+    sizes = [16, 64, 256, 1024]
+    rows = []
+    for n in sizes:
+        out = apply_function(index_fn(NAT), from_python((list(range(n)), [0, n // 2, n - 1])))
+        rows.append([n, out.time, out.work])
+    print("\nE4c index (Figure 3): constant T, O(n + k) W")
+    print(format_table(["n", "T", "W"], rows))
+    assert len({r[1] for r in rows}) == 1                     # constant parallel time
+    assert 0.8 <= loglog_slope(sizes, [r[2] for r in rows]).slope <= 1.2  # linear work
+    benchmark(lambda: run_index(list(range(128)), [0, 64, 127]))

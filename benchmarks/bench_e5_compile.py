@@ -1,0 +1,55 @@
+"""E5 — Theorem 7.1 / Proposition 7.5: NSC work maps onto the BVRAM at the
+same asymptotic cost, with a fixed register count.
+
+The full compilation chain is exercised at the level the library implements
+(see DESIGN.md): the NSC programs define the workload (T, W per Def. 3.1),
+and the corresponding flat BVRAM kernels (reduction, filter, broadcast)
+reproduce the same work growth on a machine with a *fixed* number of
+registers and no general permutation instruction.
+"""
+
+from repro.analysis import format_table, loglog_slope
+from repro.bvram import run_program
+from repro.bvram.programs import filter_leq_program, pairwise_sum_program
+from repro.nsc import apply_function, from_python
+from repro.nsc import builder as B
+from repro.nsc import lib
+from repro.nsc.types import NAT
+
+
+def test_e5_reduction_nsc_vs_bvram(benchmark):
+    sizes = [16, 64, 256, 1024]
+    rows = []
+    for n in sizes:
+        xs = list(range(n))
+        nsc = apply_function(lib.reduce_add(), from_python(xs))
+        bv = run_program(pairwise_sum_program(), [xs])
+        rows.append([n, nsc.time, nsc.work, bv.time, bv.work, 8])
+    print("\nE5  logarithmic reduction: NSC (Def 3.1 costs) vs compiled BVRAM kernel")
+    print(format_table(["n", "T nsc", "W nsc", "T bvram", "W bvram", "registers"], rows))
+    # both sides have near-linear work and logarithmic time; register count fixed
+    assert 0.8 <= loglog_slope(sizes, [r[2] for r in rows]).slope <= 1.4
+    assert 0.8 <= loglog_slope(sizes, [r[4] for r in rows]).slope <= 1.4
+    assert loglog_slope(sizes, [r[3] for r in rows]).slope < 0.4
+    assert len({r[5] for r in rows}) == 1
+    benchmark(lambda: run_program(pairwise_sum_program(), [list(range(256))]))
+
+
+def test_e5_filter_nsc_vs_bvram(benchmark):
+    sizes = [16, 64, 256, 1024]
+    pred = B.lam("z", NAT, B.le(B.v("z"), 10))
+    rows = []
+    for n in sizes:
+        xs = [i % 21 for i in range(n)]
+        nsc = apply_function(lib.filter_fn(pred, NAT), from_python(xs))
+        bv = run_program(filter_leq_program(10), [xs])
+        assert bv.output(0) == [x for x in xs if x <= 10]
+        rows.append([n, nsc.time, nsc.work, bv.time, bv.work])
+    print("\nE5b filter: NSC derived form vs compiled BVRAM kernel")
+    print(format_table(["n", "T nsc", "W nsc", "T bvram", "W bvram"], rows))
+    # constant parallel time on both sides, linear work on both sides
+    assert len({r[1] for r in rows}) == 1
+    assert len({r[3] for r in rows}) == 1
+    assert 0.9 <= loglog_slope(sizes, [r[2] for r in rows]).slope <= 1.1
+    assert 0.9 <= loglog_slope(sizes, [r[4] for r in rows]).slope <= 1.1
+    benchmark(lambda: run_program(filter_leq_program(10), [list(range(256))]))

@@ -1,0 +1,35 @@
+"""E7 — Section 3: the cost of a general permutation is visible in NSC.
+
+Claims: a map-based permutation takes O(1) parallel time but Theta(n^2) work;
+a sort-based permutation (via Figure 1's mergesort) takes O(log n log log n)
+time with far lower work growth.  This is why the BVRAM can afford to omit a
+general permutation instruction.
+"""
+
+import random
+
+from repro.algorithms.permute import oracle_scatter, run_permute_map, run_permute_sort
+from repro.analysis import format_table, loglog_slope
+from repro.nsc import to_python
+
+
+def test_e7_permutation_tradeoff(benchmark):
+    random.seed(2)
+    sizes = [8, 16, 32, 64]
+    rows = []
+    for n in sizes:
+        targets = list(range(n))
+        random.shuffle(targets)
+        values = [random.randrange(1000) for _ in range(n)]
+        om = run_permute_map(values, targets)
+        os_ = run_permute_sort(values, targets)
+        expected = oracle_scatter(values, targets)
+        assert to_python(om.value) == expected and to_python(os_.value) == expected
+        rows.append([n, om.time, om.work, os_.time, os_.work])
+    print("\nE7  permutation: map-based (O(1) T, O(n^2) W) vs sort-based")
+    print(format_table(["n", "T map", "W map", "T sort", "W sort"], rows))
+    assert len({r[1] for r in rows}) == 1                                  # map: constant time
+    assert loglog_slope(sizes, [r[2] for r in rows]).slope > 1.6           # map: ~quadratic work
+    assert loglog_slope(sizes, [r[4] for r in rows]).slope < 1.6           # sort: subquadratic work
+    assert loglog_slope(sizes, [r[3] for r in rows]).slope < 0.85          # sort: slowly growing time
+    benchmark(lambda: run_permute_map(list(range(16)), list(reversed(range(16)))))

@@ -1,0 +1,7 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment file regenerates one of the paper's claims (see DESIGN.md's
+experiment index) and prints the reproduced series as a table, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the numbers recorded in
+EXPERIMENTS.md.
+"""

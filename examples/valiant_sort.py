@@ -1,0 +1,41 @@
+"""Valiant's O(log n log log n) mergesort in NSC (Section 5, Figures 1-3).
+
+Runs the paper's sorting program — written in the calculus itself, with the
+recursion in map-recursive form — on random inputs of growing size and prints
+the parallel time and work that Definition 3.1 assigns to each run.  The
+parallel time barely moves while the input grows 32-fold.
+
+Run:  python examples/valiant_sort.py
+"""
+
+import math
+import random
+
+from repro.algorithms.mergesort import run_index, run_merge, run_mergesort
+from repro.analysis import format_table
+from repro.nsc import to_python
+
+
+def main() -> None:
+    random.seed(7)
+
+    print("index (Figure 3):", run_index([10, 20, 30, 40, 50, 60], [0, 2, 5]))
+
+    a = sorted(random.sample(range(100), 8))
+    b = sorted(random.sample(range(100), 12))
+    out = run_merge(a, b)
+    print(f"merge (Figure 1): {a} + {b}\n  -> {to_python(out.value)}  T={out.time} W={out.work}")
+
+    rows = []
+    for n in (8, 16, 32, 64, 128, 256):
+        xs = random.sample(range(10 * n), n)
+        out = run_mergesort(xs)
+        assert to_python(out.value) == sorted(xs)
+        model = math.log2(n) * max(1.0, math.log2(max(2, math.log2(n))))
+        rows.append([n, out.time, round(out.time / model, 1), out.work])
+    print("\nmergesort (Figure 1) — parallel time vs the log n loglog n model")
+    print(format_table(["n", "T", "T / (log n loglog n)", "W"], rows))
+
+
+if __name__ == "__main__":
+    main()

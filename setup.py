@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has an older setuptools without the ``wheel`` package, so
+PEP 660 editable installs are unavailable; this shim lets
+``pip install -e . --no-use-pep517`` fall back to the classic develop-mode
+install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — reproduction of Suciu & Tannen (1994).
+
+"Efficient Compilation of High-Level Data Parallel Algorithms"
+(UPenn TR MS-CIS-94-17 / SPAA'94).
+
+Subpackages
+-----------
+``nsc``
+    The Nested Sequence Calculus: types, S-objects, big-step semantics with
+    the machine-independent time/work cost model of Definition 3.1.
+``maprec``
+    Map-recursion (Definition 4.1) and its translation into NSC (Theorem 4.2).
+``nsa``
+    The variable-free Nested Sequence Algebra (Appendix C) and the
+    NSC -> NSA translation.
+``sa``
+    The flat Sequence Algebra (Appendix D), the SEQ segment encoding, the Map
+    Lemma (Lemma 7.2) and the NSA -> SA flattening (Proposition 7.4).
+``bvram``
+    The Bounded Vector Random Access Machine (Section 2) and the SA -> BVRAM
+    code generator (Proposition 7.5).
+``vram``
+    An unbounded-register VRAM baseline (Blelloch-style), used for the
+    ablation experiments.
+``butterfly``
+    Butterfly-network implementation of the BVRAM instructions with oblivious
+    routing (Proposition 2.1).
+``pram``
+    CREW PRAM with scan primitives and Brent scheduling (Proposition 3.2).
+``algorithms``
+    NSC programs: Valiant's O(log n log log n) mergesort (Section 5,
+    Figures 1-3), quicksort, permutation routines, plus Python oracles.
+``analysis``
+    Log-log slope fitting and report tables used by the benchmark harness.
+``core``
+    The end-to-end compilation pipeline and the top-level convenience API.
+"""
+
+from importlib import metadata as _metadata
+
+try:  # pragma: no cover - depends on installation mode
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # pragma: no cover
+    __version__ = "0.1.0"
+
+__all__ = ["__version__"]

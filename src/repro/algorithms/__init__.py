@@ -1,0 +1,8 @@
+"""NSC algorithm programs from the paper plus Python oracles.
+
+* :mod:`repro.algorithms.mergesort` — Valiant's sort (Section 5, Figures 1-3);
+* :mod:`repro.algorithms.quicksort` — the divide-and-conquer ``g`` schema example;
+* :mod:`repro.algorithms.schemata` — the ``g``/``h``/``k`` recursion schemata of Section 4;
+* :mod:`repro.algorithms.permute` — permutation routines of varying T/W trade-offs (Section 3);
+* :mod:`repro.algorithms.oracles` — plain-Python reference implementations.
+"""

@@ -1,0 +1,423 @@
+"""Valiant's O(log n log log n) mergesort in NSC (Section 5, Figures 1-3).
+
+This module reproduces, as NSC programs, every function of the paper's
+Figures 1-3:
+
+* Figure 3: ``index`` and ``indexsplit`` (constant time, O(n + k) work);
+* Figure 2: ``rank_one``, ``direct_rank``, ``sqrt_positions``, ``sqrt_split``
+  and ``direct_merge``;
+* Figure 1: the doubly recursive ``merge`` (O(log log m) time) and
+  ``mergesort`` (O(log n log log n) time).
+
+``merge`` and ``mergesort`` are written in *map-recursive* form
+(Definition 4.1): every recursive call occurs under a ``map``, so the
+Definition 3.1 cost model charges the parallel branches with ``max`` rather
+than ``sum`` and the claimed parallel running times are visible directly.
+The :mod:`repro.maprec` package translates these recursive definitions into
+pure (while-based) NSC per Theorem 4.2.
+
+Two small deviations from the paper's sketch are documented inline:
+
+* ``sqrt_positions`` samples positions ``0, s, 2s, ...`` with
+  ``s = floor(sqrt(n))`` (the paper writes an exact ``sqrt(n)``); as a
+  consequence ``sqrt_split`` produces a leading *empty* block, which is what
+  makes ``zip(AA, BB)`` in ``merge`` line up — the empty A-block absorbs the
+  B-elements smaller than ``A[0]``.
+* ranks are "number of elements <= a" throughout (the paper leaves the tie
+  convention implicit); ties therefore land immediately before the equal
+  A-element, which preserves sortedness.
+"""
+
+from __future__ import annotations
+
+from ..nsc import ast as A
+from ..nsc import builder as B
+from ..nsc import lib
+from ..nsc.types import NAT, ProdType, SeqType, Type, prod, seq
+
+#: type abbreviations used throughout
+NSEQ = seq(NAT)  # [N]
+NSEQ2 = seq(NSEQ)  # [[N]]
+
+
+def _monus_pairs() -> A.Function:
+    """``map(-)`` over a sequence of pairs: [N x N] -> [N], elementwise monus."""
+    p = B.gensym("p")
+    return B.map_(B.lam(p, prod(NAT, NAT), B.sub(B.fst(B.v(p)), B.snd(B.v(p)))))
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: index and indexsplit
+# ---------------------------------------------------------------------------
+
+
+def index_fn(t: Type = NAT) -> A.Lambda:
+    """``index : [t] x [N] -> [t]`` (Figure 3).
+
+    ``index(C, I)`` expects a sorted sequence of positions ``I = [i0,...,ik-1]``
+    and returns ``[C[i0], ..., C[ik-1]]`` in constant parallel time and
+    O(n + k) work.  Follows the paper's two ``bm_route`` construction:
+    first route a running block counter over all of ``C``'s positions, then
+    difference it to obtain per-position multiplicities and route ``C``.
+    """
+    a = B.gensym("a")
+    cvar, ivar = B.gensym("C"), B.gensym("I")
+    n = B.gensym("n")
+    k = B.gensym("k")
+    zero_to_k = B.gensym("ztk")
+    delta_i = B.gensym("dI")
+    pvar = B.gensym("P")
+    delta_p = B.gensym("dP")
+
+    body = B.lets(
+        [
+            (cvar, B.fst(B.v(a))),
+            (ivar, B.snd(B.v(a))),
+            (n, B.length_(B.v(cvar))),
+            (k, B.length_(B.v(ivar))),
+            # zero_to_k = enumerate(I) @ [k]  = [0, 1, ..., k]
+            (zero_to_k, B.append(B.enumerate_(B.v(ivar)), B.single(B.v(k)))),
+            # delta_I = map(-)(zip(I @ [n], [0] @ I))
+            (
+                delta_i,
+                B.app(
+                    _monus_pairs(),
+                    B.zip_(
+                        B.append(B.v(ivar), B.single(B.v(n))),
+                        B.append(B.single(B.c(0)), B.v(ivar)),
+                    ),
+                ),
+            ),
+            # P = bm_route((C, delta_I), zero_to_k); P[m] = #{j : i_j <= m}
+            (
+                pvar,
+                B.app(
+                    lib.bm_route(t, NAT),
+                    B.pair(B.pair(B.v(cvar), B.v(delta_i)), B.v(zero_to_k)),
+                ),
+            ),
+            # delta_P = map(-)(zip(P, remove_last([0] @ P))); = multiplicity of m in I
+            (
+                delta_p,
+                B.app(
+                    _monus_pairs(),
+                    B.zip_(
+                        B.v(pvar),
+                        B.app(lib.remove_last(NAT), B.append(B.single(B.c(0)), B.v(pvar))),
+                    ),
+                ),
+            ),
+        ],
+        # bm_route((I, delta_P), C)
+        B.app(
+            lib.bm_route(NAT, t),
+            B.pair(B.pair(B.v(ivar), B.v(delta_p)), B.v(cvar)),
+        ),
+    )
+    return B.lam(a, prod(seq(t), NSEQ), body)
+
+
+def indexsplit_fn(t: Type = NAT) -> A.Lambda:
+    """``indexsplit : [t] x [N] -> [[t]]`` (Figure 3).
+
+    Splits ``C`` at the sorted positions ``I``, producing ``len(I) + 1``
+    consecutive groups ``[C[0:i0], C[i0:i1], ..., C[ik-1:n]]``.
+    """
+    a = B.gensym("a")
+    cvar, ivar = B.gensym("C"), B.gensym("I")
+    n = B.gensym("n")
+    body = B.lets(
+        [
+            (cvar, B.fst(B.v(a))),
+            (ivar, B.snd(B.v(a))),
+            (n, B.length_(B.v(cvar))),
+        ],
+        B.split_(
+            B.v(cvar),
+            B.app(
+                _monus_pairs(),
+                B.zip_(
+                    B.append(B.v(ivar), B.single(B.v(n))),
+                    B.append(B.single(B.c(0)), B.v(ivar)),
+                ),
+            ),
+        ),
+    )
+    return B.lam(a, prod(seq(t), NSEQ), body)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: ranking and square-root splitting
+# ---------------------------------------------------------------------------
+
+
+def rank_one_fn() -> A.Lambda:
+    """``rank_one : N x [N] -> N`` = number of elements of B that are <= a (Figure 2).
+
+    The pivot ``a`` is let-bound before the filter so that the filter
+    predicate's closure (charged once per element of B by the cost model)
+    contains only the single number ``a`` and not the whole pair.
+    """
+    p = B.gensym("p")
+    b = B.gensym("b")
+    avar = B.gensym("a")
+    pred = B.lam(b, NAT, B.le(B.v(b), B.v(avar)))
+    body = B.let(
+        avar,
+        B.fst(B.v(p)),
+        B.length_(B.app(lib.filter_fn(pred, NAT), B.snd(B.v(p)))),
+    )
+    return B.lam(p, prod(NAT, NSEQ), body)
+
+
+def direct_rank_fn() -> A.Lambda:
+    """``direct_rank : [N] x [N] -> [N]`` = map(\\a. rank_one(a, B))(A) (Figure 2)."""
+    p = B.gensym("p")
+    a = B.gensym("a")
+    avar = B.fst(B.v(p))
+    bvar = B.snd(B.v(p))
+    body = B.app(
+        B.map_(B.lam(a, NAT, B.app(rank_one_fn(), B.pair(B.v(a), bvar)))),
+        avar,
+    )
+    return B.lam(p, prod(NSEQ, NSEQ), body)
+
+
+def sqrt_positions_fn(t: Type = NAT) -> A.Lambda:
+    """``sqrt_positions : [t] -> [t]`` (Figure 2).
+
+    Returns the elements at positions ``0, s, 2s, ...`` where
+    ``s = floor(sqrt(length(C)))``; these are the first elements of the
+    square-root blocks.
+    """
+    cvar = B.gensym("C")
+    i = B.gensym("i")
+    n = B.gensym("n")
+    s = B.gensym("s")
+    ivar = B.gensym("I")
+    pred = B.lam(i, NAT, B.eq(B.mod(B.v(i), B.v(s)), 0))
+    body = B.lets(
+        [
+            (n, B.length_(B.v(cvar))),
+            (s, B.nat_max(1, B.isqrt(B.v(n)))),
+            (ivar, B.app(lib.filter_fn(pred, NAT), B.enumerate_(B.v(cvar)))),
+        ],
+        B.app(index_fn(t), B.pair(B.v(cvar), B.v(ivar))),
+    )
+    return B.lam(cvar, seq(t), body)
+
+
+def sqrt_split_fn(t: Type = NAT) -> A.Lambda:
+    """``sqrt_split : [t] -> [[t]]`` (Figure 2).
+
+    Splits ``C`` into blocks of size ``floor(sqrt(n))``.  Because the sampled
+    positions include 0, the result carries a leading empty block; ``merge``
+    relies on this (the empty A-block pairs with the B-elements that precede
+    ``A[0]``).
+    """
+    cvar = B.gensym("C")
+    body = B.app(
+        indexsplit_fn(t),
+        B.pair(
+            B.v(cvar),
+            B.app(sqrt_positions_fn(NAT), B.enumerate_(B.v(cvar))),
+        ),
+    )
+    return B.lam(cvar, seq(t), body)
+
+
+def direct_merge_fn() -> A.Lambda:
+    """``direct_merge : [N] x [N] -> [N]`` (Figure 2) — merge when ``|A| <= 2``.
+
+    ``first(BB) @ flatten(map(\\(a, B'). [a] @ B')(zip(A, tail(BB))))`` where
+    ``BB = indexsplit(B, direct_rank(A, B))``.
+    """
+    p = B.gensym("p")
+    avar, bvar = B.gensym("A"), B.gensym("B")
+    rvar, bbvar = B.gensym("R"), B.gensym("BB")
+    q = B.gensym("q")
+    body = B.lets(
+        [
+            (avar, B.fst(B.v(p))),
+            (bvar, B.snd(B.v(p))),
+            (rvar, B.app(direct_rank_fn(), B.pair(B.v(avar), B.v(bvar)))),
+            (bbvar, B.app(indexsplit_fn(NAT), B.pair(B.v(bvar), B.v(rvar)))),
+        ],
+        B.append(
+            B.app(lib.first(NSEQ), B.v(bbvar)),
+            B.flatten_(
+                B.app(
+                    B.map_(
+                        B.lam(
+                            q,
+                            prod(NAT, NSEQ),
+                            B.append(B.single(B.fst(B.v(q))), B.snd(B.v(q))),
+                        )
+                    ),
+                    B.zip_(B.v(avar), B.app(lib.tail(NSEQ), B.v(bbvar))),
+                )
+            ),
+        ),
+    )
+    return B.lam(p, prod(NSEQ, NSEQ), body)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: merge and mergesort
+# ---------------------------------------------------------------------------
+
+
+def merge_recfun() -> A.RecFun:
+    """Valiant's fast merge, ``merge : [N] x [N] -> [N]`` (Figure 1).
+
+    The recursive call appears only under a ``map`` (map-recursive form), so
+    the parallel time is O(log log m) for ``|A| = m``: each level reduces the
+    A-blocks to size ``sqrt(m)``.
+    """
+    p = B.gensym("p")
+    avar, bvar = B.gensym("A"), B.gensym("B")
+    m, n, s = B.gensym("m"), B.gensym("n"), B.gensym("s")
+    a1, b1 = B.gensym("Ap"), B.gensym("Bp")  # A', B' — the sampled elements
+    r1 = B.gensym("Rp")  # R' — ranks of A' among B'
+    bb1 = B.gensym("BBp")  # BB' — the sqrt blocks of B
+    a_b = B.gensym("aB")  # zip(A', blocks of B selected by R')
+    rr1 = B.gensym("RRp")  # ranks of each a' within its block
+    rvar = B.gensym("R")  # exact ranks of A' in B
+    aavar, bbvar = B.gensym("AA"), B.gensym("BB")
+    q = B.gensym("q")
+    xy = B.gensym("xy")
+
+    recursive_case = B.lets(
+        [
+            (m, B.length_(B.v(avar))),
+            (n, B.length_(B.v(bvar))),
+            # the block width used by sqrt_split(B); needed to reassemble ranks
+            (s, B.nat_max(1, B.isqrt(B.v(n)))),
+            (a1, B.app(sqrt_positions_fn(NAT), B.v(avar))),
+            (b1, B.app(sqrt_positions_fn(NAT), B.v(bvar))),
+            # R' = direct_rank(A', B'): which sqrt-block of B each sample of A falls in
+            (r1, B.app(direct_rank_fn(), B.pair(B.v(a1), B.v(b1)))),
+            # BB' = sqrt_split(B)  (leading empty block, then blocks of width s)
+            (bb1, B.app(sqrt_split_fn(NAT), B.v(bvar))),
+            # a_B = zip(A', index(BB', R')): group each sample with its block
+            (
+                a_b,
+                B.zip_(B.v(a1), B.app(index_fn(NSEQ), B.pair(B.v(bb1), B.v(r1)))),
+            ),
+            # RR' = map(rank_one)(a_B): rank of each sample within its block
+            (rr1, B.app(B.map_(rank_one_fn()), B.v(a_b))),
+            # R = map(\ (x, y). (x -. 1) * s + y)(zip(R', RR'))
+            (
+                rvar,
+                B.app(
+                    B.map_(
+                        B.lam(
+                            xy,
+                            prod(NAT, NAT),
+                            B.add(
+                                B.mul(B.sub(B.fst(B.v(xy)), 1), B.v(s)),
+                                B.snd(B.v(xy)),
+                            ),
+                        )
+                    ),
+                    B.zip_(B.v(r1), B.v(rr1)),
+                ),
+            ),
+            (aavar, B.app(sqrt_split_fn(NAT), B.v(avar))),
+            (bbvar, B.app(indexsplit_fn(NAT), B.pair(B.v(bvar), B.v(rvar)))),
+        ],
+        # flatten(map(merge)(zip(AA, BB)))  — the parallel recursive calls
+        B.flatten_(
+            B.app(
+                B.map_(B.lam(q, prod(NSEQ, NSEQ), B.reccall("merge", B.v(q)))),
+                B.zip_(B.v(aavar), B.v(bbvar)),
+            )
+        ),
+    )
+
+    body = B.lets(
+        [
+            (avar, B.fst(B.v(p))),
+            (bvar, B.snd(B.v(p))),
+        ],
+        B.if_(
+            B.le(B.length_(B.v(avar)), 2),
+            B.app(direct_merge_fn(), B.pair(B.v(avar), B.v(bvar))),
+            recursive_case,
+        ),
+    )
+    return B.recfun("merge", p, prod(NSEQ, NSEQ), body, NSEQ)
+
+
+def mergesort_recfun() -> A.RecFun:
+    """``mergesort : [N] -> [N]`` (Figure 1), in map-recursive form.
+
+    The two half-sized recursive calls are mapped over the 2-element split of
+    the input, which is exactly how the paper converts the ``g`` schema of
+    Section 4 into map-recursive form; parallel time O(log n log log n).
+    """
+    avar = B.gensym("A")
+    n = B.gensym("n")
+    aavar = B.gensym("AA")
+    sorted_halves = B.gensym("S")
+    y = B.gensym("y")
+    merge = merge_recfun()
+
+    recursive_case = B.lets(
+        [
+            (n, B.length_(B.v(avar))),
+            # AA = split(A, [n - n/2, n/2])
+            (
+                aavar,
+                B.split_(
+                    B.v(avar),
+                    B.append(
+                        B.single(B.sub(B.v(n), B.div(B.v(n), 2))),
+                        B.single(B.div(B.v(n), 2)),
+                    ),
+                ),
+            ),
+            # S = map(mergesort)(AA)  — the two recursive calls, in parallel
+            (
+                sorted_halves,
+                B.app(B.map_(B.lam(y, NSEQ, B.reccall("mergesort", B.v(y)))), B.v(aavar)),
+            ),
+        ],
+        B.app(
+            merge,
+            B.pair(
+                B.app(lib.first(NSEQ), B.v(sorted_halves)),
+                B.app(lib.last(NSEQ), B.v(sorted_halves)),
+            ),
+        ),
+    )
+
+    body = B.if_(B.le(B.length_(B.v(avar)), 1), B.v(avar), recursive_case)
+    return B.recfun("mergesort", avar, NSEQ, body, NSEQ)
+
+
+# ---------------------------------------------------------------------------
+# Convenience runners (used by tests, examples and benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def run_index(values: list[int], positions: list[int]) -> list[int]:
+    """Evaluate the NSC ``index`` program on Python data."""
+    from ..nsc import apply_function, from_python, to_python
+
+    out = apply_function(index_fn(NAT), from_python((list(values), list(positions))))
+    return to_python(out.value)  # type: ignore[return-value]
+
+
+def run_merge(a: list[int], b: list[int]):
+    """Evaluate the NSC ``merge`` program; returns the evaluation Outcome."""
+    from ..nsc import apply_function, from_python
+
+    return apply_function(merge_recfun(), from_python((list(a), list(b))))
+
+
+def run_mergesort(values: list[int]):
+    """Evaluate the NSC ``mergesort`` program; returns the evaluation Outcome."""
+    from ..nsc import apply_function, from_python
+
+    return apply_function(mergesort_recfun(), from_python(list(values)))

@@ -1,0 +1,122 @@
+"""Permutation routines in NSC (Section 3's discussion of permutation cost).
+
+The BVRAM deliberately has no general permutation instruction, and the paper
+points out that the cost of permuting is therefore *visible in the high-level
+language*: one can permute
+
+* in O(1) parallel time with O(n^2) work, by a ``map`` that searches for each
+  target position;
+* in O(log n log log n) time with O(n log n)-ish work, by sorting key/value
+  pairs with the Section 5 mergesort.
+
+Experiment E7 regenerates this trade-off.  Both functions use *scatter*
+semantics: given values ``x`` and targets ``p`` (a permutation of
+``0..n-1``), the output ``y`` satisfies ``y[p[i]] = x[i]``.
+"""
+
+from __future__ import annotations
+
+from ..nsc import ast as A
+from ..nsc import builder as B
+from ..nsc import lib
+from ..nsc.types import NAT, prod, seq
+from .mergesort import mergesort_recfun
+
+NSEQ = seq(NAT)
+
+#: values must be smaller than this bound for the sort-based permutation's
+#: key/value packing (documented limitation; the paper's version would carry
+#: pairs through a polymorphic sort instead)
+VALUE_BOUND = 1 << 20
+
+
+def permute_map_fn() -> A.Lambda:
+    """Scatter permutation via ``map``: O(1) time, O(n^2) work.
+
+    For every output position ``i`` the whole zipped sequence is scanned for
+    the element whose target equals ``i``.
+    """
+    a = B.gensym("a")
+    xvar, pvar = B.gensym("x"), B.gensym("p")
+    i = B.gensym("i")
+    q = B.gensym("q")
+    find_i = B.get_(
+        B.flatten_(
+            B.app(
+                B.map_(
+                    B.lam(
+                        q,
+                        prod(NAT, NAT),
+                        B.if_(
+                            B.eq(B.snd(B.v(q)), B.v(i)),
+                            B.single(B.fst(B.v(q))),
+                            B.empty(NAT),
+                        ),
+                    )
+                ),
+                B.zip_(B.v(xvar), B.v(pvar)),
+            )
+        )
+    )
+    body = B.lets(
+        [
+            (xvar, B.fst(B.v(a))),
+            (pvar, B.snd(B.v(a))),
+        ],
+        B.app(B.map_(B.lam(i, NAT, find_i)), B.enumerate_(B.v(xvar))),
+    )
+    return B.lam(a, prod(NSEQ, NSEQ), body)
+
+
+def permute_sort_fn() -> A.Lambda:
+    """Scatter permutation via sorting: O(log n log log n) time.
+
+    Each element is encoded as ``target * VALUE_BOUND + value``, the encoded
+    sequence is sorted with Valiant's mergesort (Figure 1) and the values are
+    recovered with ``mod``.  Sorting by target position realises the scatter.
+    """
+    a = B.gensym("a")
+    xvar, pvar = B.gensym("x"), B.gensym("p")
+    q = B.gensym("q")
+    e = B.gensym("e")
+    encoded = B.app(
+        B.map_(
+            B.lam(
+                q,
+                prod(NAT, NAT),
+                B.add(B.mul(B.snd(B.v(q)), B.c(VALUE_BOUND)), B.fst(B.v(q))),
+            )
+        ),
+        B.zip_(B.v(xvar), B.v(pvar)),
+    )
+    body = B.lets(
+        [
+            (xvar, B.fst(B.v(a))),
+            (pvar, B.snd(B.v(a))),
+        ],
+        B.app(
+            B.map_(B.lam(e, NAT, B.mod(B.v(e), B.c(VALUE_BOUND)))),
+            B.app(mergesort_recfun(), encoded),
+        ),
+    )
+    return B.lam(a, prod(NSEQ, NSEQ), body)
+
+
+def run_permute_map(values: list[int], targets: list[int]):
+    from ..nsc import apply_function, from_python
+
+    return apply_function(permute_map_fn(), from_python((list(values), list(targets))))
+
+
+def run_permute_sort(values: list[int], targets: list[int]):
+    from ..nsc import apply_function, from_python
+
+    return apply_function(permute_sort_fn(), from_python((list(values), list(targets))))
+
+
+def oracle_scatter(values: list[int], targets: list[int]) -> list[int]:
+    """Reference scatter permutation."""
+    out = [0] * len(values)
+    for v, t in zip(values, targets):
+        out[t] = v
+    return out

@@ -1,0 +1,85 @@
+"""Quicksort as a map-recursive definition (the paper's example for the ``g`` schema).
+
+Section 4: "For g, we construct a list of length 2, and recursively map g on
+it (Quicksort has this form)."  The divide step partitions the tail of the
+sequence around the first element (the pivot); the combine step re-assembles
+``smaller @ [pivot] @ larger``.
+
+On random inputs the divide-and-conquer tree is balanced in expectation, so
+the Theorem 4.2 translation preserves the work; on already-sorted inputs the
+tree degenerates (``v = n``), making quicksort the natural workload for the
+balanced-vs-unbalanced comparison of experiment E3.
+"""
+
+from __future__ import annotations
+
+from ..maprec.schema import MapRecursiveDef
+from ..nsc import ast as A
+from ..nsc import builder as B
+from ..nsc import lib
+from ..nsc.types import NAT, prod, seq
+
+NSEQ = seq(NAT)
+NSEQ2 = seq(NSEQ)
+
+
+def quicksort_def() -> MapRecursiveDef:
+    """Quicksort packaged as a :class:`~repro.maprec.schema.MapRecursiveDef`."""
+    # pred: |x| <= 1
+    px = B.gensym("x")
+    pred = B.lam(px, NSEQ, B.le(B.length_(B.v(px)), 1))
+
+    # base: identity
+    bx = B.gensym("x")
+    base = B.lam(bx, NSEQ, B.v(bx))
+
+    # divide: [elements of tail < pivot, elements of tail >= pivot]
+    dx = B.gensym("x")
+    piv = B.gensym("piv")
+    rest = B.gensym("rest")
+    z1 = B.gensym("z")
+    z2 = B.gensym("z")
+    less = B.app(lib.filter_fn(B.lam(z1, NAT, B.lt(B.v(z1), B.v(piv))), NAT), B.v(rest))
+    geq = B.app(lib.filter_fn(B.lam(z2, NAT, B.ge(B.v(z2), B.v(piv))), NAT), B.v(rest))
+    divide = B.lam(
+        dx,
+        NSEQ,
+        B.lets(
+            [
+                (piv, B.app(lib.first(NAT), B.v(dx))),
+                (rest, B.app(lib.tail(NAT), B.v(dx))),
+            ],
+            B.append(B.single(less), B.single(geq)),
+        ),
+    )
+
+    # combine: smaller @ [pivot] @ larger
+    cp = B.gensym("p")
+    combine = B.lam(
+        cp,
+        prod(NSEQ, NSEQ2),
+        B.concat(
+            B.app(lib.first(NSEQ), B.snd(B.v(cp))),
+            B.single(B.app(lib.first(NAT), B.fst(B.v(cp)))),
+            B.app(lib.last(NSEQ), B.snd(B.v(cp))),
+        ),
+    )
+
+    return MapRecursiveDef(
+        name="quicksort", dom=NSEQ, cod=NSEQ, pred=pred, base=base, divide=divide, combine=combine
+    )
+
+
+def run_quicksort(values: list[int]):
+    """Evaluate the recursive quicksort on Python data; returns the Outcome."""
+    from ..nsc import apply_function, from_python
+
+    return apply_function(quicksort_def().to_recfun(), from_python(list(values)))
+
+
+def run_quicksort_translated(values: list[int]):
+    """Evaluate the Theorem 4.2 translation of quicksort; returns the Outcome."""
+    from ..maprec.translate import translate
+    from ..nsc import apply_function, from_python
+
+    return apply_function(translate(quicksort_def()), from_python(list(values)))

@@ -1,0 +1,5 @@
+"""Complexity-shape fitting and report formatting for the benchmark harness."""
+
+from .fit import Fit, format_table, is_bounded_ratio, log_slope, loglog_slope, ratio_trend
+
+__all__ = ["Fit", "format_table", "is_bounded_ratio", "log_slope", "loglog_slope", "ratio_trend"]

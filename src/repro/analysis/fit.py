@@ -1,0 +1,79 @@
+"""Complexity-shape fitting used by the benchmark harness.
+
+The paper's claims are asymptotic (``T' = O(T)``, ``W' = O(W^(1+eps))``,
+``O(log n)`` butterfly steps, ``O(T + W/p)`` PRAM cycles, ...).  We check the
+*shape* of measured series, not absolute constants, with two tools:
+
+* :func:`loglog_slope` — least-squares slope of ``log(y)`` against ``log(x)``,
+  i.e. the empirical polynomial exponent;
+* :func:`ratio_trend` — whether the ratio of two series stays bounded
+  (a constant-factor relationship) or grows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Fit:
+    """A power-law fit ``y ~ c * x^slope``."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return math.exp(self.intercept) * x**self.slope
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> Fit:
+    """Least-squares fit of log(y) = slope*log(x) + intercept."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return Fit(float(slope), float(intercept), r2)
+
+
+def ratio_trend(numerators: Sequence[float], denominators: Sequence[float]) -> tuple[float, float]:
+    """(first ratio, last ratio) of two aligned series — a boundedness check."""
+    ratios = [n / d for n, d in zip(numerators, denominators)]
+    return ratios[0], ratios[-1]
+
+
+def is_bounded_ratio(
+    numerators: Sequence[float], denominators: Sequence[float], growth_tolerance: float = 2.0
+) -> bool:
+    """True when the ratio of the series grows by at most ``growth_tolerance``x."""
+    first, last = ratio_trend(numerators, denominators)
+    return last <= first * growth_tolerance + 1e-9
+
+
+def log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of y against log2(x) — for O(log n) claims."""
+    lx = np.log2(np.asarray(xs, dtype=float))
+    ly = np.asarray(ys, dtype=float)
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table used by the benchmark harness and EXPERIMENTS.md."""
+    cols = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    def fmt_row(cells: Sequence[object]) -> str:
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt_row(headers), sep]
+    lines.extend(fmt_row(r) for r in rows)
+    return "\n".join(lines)

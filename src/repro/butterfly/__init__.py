@@ -1,0 +1,23 @@
+"""Butterfly-network implementation of the BVRAM instructions (Proposition 2.1)."""
+
+from .network import (
+    Butterfly,
+    RouteStats,
+    append_route,
+    arithmetic_steps,
+    bm_route_route,
+    instruction_steps,
+    sbm_route_route,
+    select_route,
+)
+
+__all__ = [
+    "Butterfly",
+    "RouteStats",
+    "append_route",
+    "arithmetic_steps",
+    "bm_route_route",
+    "instruction_steps",
+    "sbm_route_route",
+    "select_route",
+]

@@ -1,0 +1,213 @@
+"""Butterfly-network implementation of BVRAM instructions (Proposition 2.1).
+
+The paper's claim: *any BVRAM instruction of work complexity W can be
+implemented in O(log n) steps on a butterfly network with n log n nodes,
+n = O(W), using only oblivious routing algorithms.*
+
+This module models an ``n``-input butterfly (``n`` a power of two) with
+``log2(n) + 1`` ranks of ``n`` switches.  Packets enter at rank 0 and are
+routed to their destination row with the greedy (bit-fixing) algorithm, one
+dimension per step, highest dimension first — exactly the routing used in the
+paper's proof sketch (cf. [Lei92] §3.4).  The simulator counts:
+
+* ``steps`` — the number of network steps (ranks traversed, i.e. the latency
+  of the slowest packet plus any queueing delay);
+* ``max_congestion`` — the largest number of packets that wished to cross a
+  single edge in one step (1 for the monotone routes used by the BVRAM, which
+  is why greedy routing suffices).
+
+For the communication-free instructions (element-wise arithmetic) the cost is
+one step.  ``append`` and ``bm_route`` are monotone routes; ``sbm_route``
+first spreads segments to power-of-two aligned start addresses (a monotone
+route) and then replicates each segment dimension by dimension, as in the
+proof of Proposition 2.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RouteStats:
+    """Result of routing one instruction on the butterfly."""
+
+    n_rows: int
+    steps: int
+    max_congestion: int
+    packets: int
+
+
+def _next_pow2(n: int) -> int:
+    return 1 if n <= 1 else 1 << (n - 1).bit_length()
+
+
+class Butterfly:
+    """An ``n``-row butterfly network (``n log n`` switching nodes).
+
+    Only the routing behaviour needed for the BVRAM instructions is modelled:
+    packets move from rank 0 to rank ``log n``, fixing one address bit per
+    step (highest dimension first).  Congestion on each (rank, row, direction)
+    edge is recorded; with the monotone/segment-aligned routes produced by the
+    BVRAM instructions the congestion stays 1, so the step count equals the
+    number of ranks — this is what experiment E1 measures.
+    """
+
+    def __init__(self, n_rows: int):
+        if n_rows < 1:
+            raise ValueError("butterfly needs at least one row")
+        self.n_rows = _next_pow2(n_rows)
+        self.dims = max(1, int(math.log2(self.n_rows))) if self.n_rows > 1 else 0
+
+    # -- generic greedy routing --------------------------------------------
+    def route(self, sources: Sequence[int], destinations: Sequence[int]) -> RouteStats:
+        """Route packets ``sources[i] -> destinations[i]`` with bit-fixing.
+
+        Returns the number of steps: one per dimension, plus any serial
+        delays caused by edge congestion (packets crossing the same edge in
+        the same step are serialised, as on a real network).
+        """
+        if len(sources) != len(destinations):
+            raise ValueError("sources and destinations must have the same length")
+        if not sources:
+            return RouteStats(self.n_rows, 0, 0, 0)
+        cur = np.asarray(sources, dtype=np.int64) % self.n_rows
+        dst = np.asarray(destinations, dtype=np.int64) % self.n_rows
+        steps = 0
+        max_cong = 1
+        # highest dimension first, as in the proof of Proposition 2.1
+        for d in reversed(range(self.dims)):
+            bit = 1 << d
+            want = (dst & bit) != (cur & bit)
+            # edge (row-with-bit-cleared, crossing?) identifies the switch edge used
+            edge_ids = (cur & ~bit) * 2 + want.astype(np.int64)
+            crossing = edge_ids[want]
+            if crossing.size:
+                _, counts = np.unique(crossing, return_counts=True)
+                congestion = int(counts.max())
+            else:
+                congestion = 1
+            max_cong = max(max_cong, congestion)
+            # a step is taken by every packet per dimension; congested edges
+            # serialise, so the dimension costs `congestion` steps.
+            steps += congestion
+            cur = np.where(want, cur ^ bit, cur)
+        if not np.array_equal(cur, dst):  # pragma: no cover - sanity
+            raise AssertionError("bit-fixing routing failed to deliver all packets")
+        return RouteStats(self.n_rows, steps, max_cong, len(sources))
+
+
+# ---------------------------------------------------------------------------
+# Instruction-level implementations (Proposition 2.1)
+# ---------------------------------------------------------------------------
+
+
+def arithmetic_steps(length: int) -> RouteStats:
+    """Element-wise arithmetic involves no communication: one step."""
+    n = _next_pow2(max(1, length))
+    return RouteStats(n, 1, 1, length)
+
+
+def append_route(len_a: int, len_b: int) -> RouteStats:
+    """``Vi <- Vj @ Vk``: monotone-route the second operand behind the first."""
+    total = max(1, len_a + len_b)
+    net = Butterfly(total)
+    sources = list(range(len_b))
+    destinations = [len_a + i for i in range(len_b)]
+    stats = net.route(sources, destinations)
+    return RouteStats(net.n_rows, max(1, stats.steps), stats.max_congestion, len_b)
+
+
+def bm_route_route(counts: Sequence[int]) -> RouteStats:
+    """``bm_route``: each source i is copied to a contiguous destination block.
+
+    The greedy algorithm routes the *leading copy* of every block (a monotone
+    partial permutation); the remaining copies are produced by the same
+    broadcast-along-dimension trick as segment replication, which adds at most
+    one pass over the dimensions.  Step count therefore stays O(log n).
+    """
+    total = int(sum(counts))
+    net = Butterfly(max(1, total))
+    sources, destinations = [], []
+    offset = 0
+    for i, c in enumerate(counts):
+        if c > 0:
+            sources.append(i)
+            destinations.append(offset)
+        offset += c
+    stats = net.route(sources, destinations)
+    # one extra pass over the dimensions to fan each value out over its block
+    extra = net.dims if any(c > 1 for c in counts) else 0
+    return RouteStats(net.n_rows, max(1, stats.steps + extra), stats.max_congestion, len(sources))
+
+
+def sbm_route_route(segments: Sequence[int], counts: Sequence[int]) -> RouteStats:
+    """``sbm_route``: spread segments to power-of-two aligned slots, then replicate.
+
+    Follows the proof of Proposition 2.1: round every segment length up to a
+    power of two, monotone-route each segment's head to its aligned start
+    address, then perform all replications in parallel, one dimension per
+    step (the packet at address ``0..0 u`` is copied to every ``v u``).
+    """
+    padded = [max(1, _next_pow2(s)) * max(1, c) for s, c in zip(segments, counts)]
+    total = max(1, _next_pow2(sum(padded)))
+    net = Butterfly(total)
+    sources, destinations = [], []
+    src_off = 0
+    dst_off = 0
+    for seg, cnt, pad in zip(segments, counts, padded):
+        if seg > 0 and cnt > 0:
+            sources.append(src_off)
+            destinations.append(dst_off)
+        src_off += seg
+        dst_off += pad
+    stats = net.route(sources, destinations)
+    # replication: q stages where 2^q is the largest replication factor
+    max_rep = max((c for c in counts), default=1)
+    rep_stages = max(1, _next_pow2(max(1, max_rep))).bit_length() - 1
+    return RouteStats(net.n_rows, max(1, stats.steps + rep_stages), stats.max_congestion, len(sources))
+
+
+def select_route(mask: Sequence[int]) -> RouteStats:
+    """``select`` (pack non-zeros): a monotone route of the survivors."""
+    survivors = [i for i, v in enumerate(mask) if v != 0]
+    net = Butterfly(max(1, len(mask)))
+    stats = net.route(survivors, list(range(len(survivors))))
+    return RouteStats(net.n_rows, max(1, stats.steps), stats.max_congestion, len(survivors))
+
+
+def instruction_steps(opcode: str, work: int) -> RouteStats:
+    """Steps for an instruction known only by opcode and work (trace replay).
+
+    Used when replaying a :class:`repro.bvram.machine.TraceEntry` stream: the
+    exact operand values are gone, so the worst-case shape for that opcode at
+    that size is routed.  ``n = O(W)`` as in the proposition.
+    """
+    n = max(1, work)
+    if opcode.startswith("arith") or opcode in {
+        "move",
+        "load_const",
+        "load_empty",
+        "length",
+        "enumerate",
+        "goto",
+        "goto_if_empty",
+        "halt",
+    }:
+        return arithmetic_steps(n)
+    if opcode == "append":
+        return append_route(n // 2, n - n // 2)
+    if opcode == "bm_route":
+        # a generic monotone route of n/2 sources into n slots
+        k = max(1, n // 2)
+        return bm_route_route([2] * k)
+    if opcode == "sbm_route":
+        k = max(1, int(math.isqrt(n)))
+        return sbm_route_route([k] * k, [1] * k)
+    if opcode == "select":
+        return select_route([i % 2 for i in range(n)])
+    raise ValueError(f"unknown opcode {opcode!r}")

@@ -1,0 +1,267 @@
+"""The BVRAM instruction set (Section 2).
+
+A Bounded Vector Random Access Machine has a *fixed* number of vector
+registers ``V1 ... Vr``, each holding a finite sequence of naturals.  There
+are no scalar registers: a number is a length-1 vector.  The instruction set
+is exactly the paper's:
+
+* ``move``            — ``Vi <- Vj``
+* ``arith``           — ``Vi <- Vj op Vk`` elementwise, ``op`` in Sigma
+* ``load_empty``      — ``Vi <- []``
+* ``load_const``      — ``Vi <- [n]``
+* ``append``          — ``Vi <- Vj @ Vk``
+* ``length``          — ``Vi <- [length(Vj)]``
+* ``enumerate``       — ``Vi <- [0 .. length(Vj)-1]``
+* ``bm_route``        — ``Vi <- bm-route(Vj, Vk, Vl)`` (bounded monotone routing)
+* ``sbm_route``       — ``Vi <- sbm-route(Vj, Vk, Vl, Vm)`` (segmented variant)
+* ``select``          — ``Vi <- sigma(Vj)`` (pack the non-zero values)
+* ``goto`` / ``goto_if_empty`` — unconditional / conditional jumps
+* ``halt``
+
+There is deliberately **no general permutation** instruction; Theorem 7.1
+shows it is not needed to compile NSC efficiently, and Proposition 2.1 shows
+every instruction above needs only oblivious routing on a butterfly.
+
+Cost model: each executed instruction has parallel time 1 and work equal to
+the sum of the lengths of its input and output registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: arithmetic operations available to the ``arith`` instruction (the set Sigma)
+ARITH_OPS = ("+", "-", "*", "/", "mod", ">>", "min", "max", "eq", "le", "lt")
+
+
+class Instruction:
+    """Base class of BVRAM instructions."""
+
+    __slots__ = ()
+
+    def registers_read(self) -> tuple[int, ...]:
+        return ()
+
+    def registers_written(self) -> tuple[int, ...]:
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class Move(Instruction):
+    """``V[dst] <- V[src]``."""
+
+    dst: int
+    src: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class Arith(Instruction):
+    """``V[dst] <- V[a] op V[b]`` elementwise; both operands must have equal length."""
+
+    dst: int
+    op: str
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise ValueError(f"unknown arithmetic op {self.op!r}")
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.a, self.b)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class LoadEmpty(Instruction):
+    """``V[dst] <- []``."""
+
+    dst: int
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class LoadConst(Instruction):
+    """``V[dst] <- [value]``."""
+
+    dst: int
+    value: int
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class AppendI(Instruction):
+    """``V[dst] <- V[a] @ V[b]``."""
+
+    dst: int
+    a: int
+    b: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.a, self.b)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class LengthI(Instruction):
+    """``V[dst] <- [length(V[src])]``."""
+
+    dst: int
+    src: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class EnumerateI(Instruction):
+    """``V[dst] <- [0, 1, ..., length(V[src]) - 1]``."""
+
+    dst: int
+    src: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class BmRoute(Instruction):
+    """``V[dst] <- bm-route(V[data], V[counts], V[bound])``.
+
+    Each element of ``V[data]`` is replicated the corresponding number of
+    times from ``V[counts]``; the result must match ``V[bound]`` in length
+    (``V[bound], V[counts]`` form a nested sequence).
+    """
+
+    dst: int
+    data: int
+    counts: int
+    bound: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.data, self.counts, self.bound)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class SbmRoute(Instruction):
+    """``V[dst] <- sbm-route(V[bound], V[counts], V[data], V[segments])``.
+
+    The sub-sequences of ``V[data]`` (segment lengths in ``V[segments]``) are
+    replicated according to ``V[counts]``; ``V[bound], V[counts]`` bound the
+    output.  With singleton ``counts``/``segments`` this computes a cartesian
+    product (Section 2).
+    """
+
+    dst: int
+    bound: int
+    counts: int
+    data: int
+    segments: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.bound, self.counts, self.data, self.segments)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Instruction):
+    """``V[dst] <- sigma(V[src])`` — pack the non-zero values of ``V[src]``."""
+
+    dst: int
+    src: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class Goto(Instruction):
+    """Unconditional jump to ``label``."""
+
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class GotoIfEmpty(Instruction):
+    """Jump to ``label`` iff ``V[src]`` currently holds the empty sequence."""
+
+    label: str
+    src: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.src,)
+
+
+@dataclass(frozen=True, slots=True)
+class Halt(Instruction):
+    """Stop the program."""
+
+
+@dataclass
+class Program:
+    """A labelled BVRAM program.
+
+    ``instructions`` is the ordered list of instructions; ``labels`` maps a
+    label to an instruction index; ``n_registers`` is the machine's (fixed)
+    register count; ``n_inputs``/``n_outputs`` are the r_i / r_o of Section 2.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    n_registers: int = 8
+    n_inputs: int = 1
+    n_outputs: int = 1
+
+    def emit(self, instr: Instruction) -> int:
+        """Append an instruction, returning its index."""
+        self.instructions.append(instr)
+        return len(self.instructions) - 1
+
+    def label(self, name: str) -> None:
+        """Attach a label to the *next* instruction to be emitted."""
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def validate(self) -> None:
+        """Check register indices and jump targets."""
+        for instr in self.instructions:
+            for reg in (*instr.registers_read(), *instr.registers_written()):
+                if not 0 <= reg < self.n_registers:
+                    raise ValueError(
+                        f"instruction {instr!r} uses register {reg} outside 0..{self.n_registers - 1}"
+                    )
+            if isinstance(instr, (Goto, GotoIfEmpty)) and instr.label not in self.labels:
+                raise ValueError(f"jump to unknown label {instr.label!r}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)

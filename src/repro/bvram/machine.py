@@ -1,0 +1,277 @@
+"""The BVRAM interpreter with the Section 2 time/work accounting.
+
+Registers hold NumPy ``int64`` vectors.  For a terminating execution, the
+parallel time ``T`` is the number of instructions executed (each instruction
+counts 1) and the work ``W`` is the sum over executed instructions of the
+lengths of their input and output registers.
+
+The machine also records a per-instruction *trace* (opcode, work) so that the
+butterfly implementation (Proposition 2.1) and the Brent scheduler
+(Proposition 3.2) can replay executions step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import isa
+
+
+class BVRAMError(RuntimeError):
+    """Raised when a BVRAM execution is undefined (bad lengths, div by zero, ...)."""
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed instruction: its opcode name and its work."""
+
+    opcode: str
+    work: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of a BVRAM run: final registers, T, W and the instruction trace."""
+
+    registers: list[np.ndarray]
+    time: int
+    work: int
+    trace: list[TraceEntry] = field(default_factory=list)
+
+    def output(self, i: int = 0) -> list[int]:
+        """The ``i``-th output register as a Python list."""
+        return [int(x) for x in self.registers[i]]
+
+
+def _as_vector(values: Sequence[int] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise BVRAMError("BVRAM registers hold one-dimensional vectors")
+    if arr.size and arr.min() < 0:
+        raise BVRAMError("BVRAM registers hold natural numbers")
+    return arr
+
+
+def _arith(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if a.shape != b.shape:
+        raise BVRAMError(f"arith {op}: operands have different lengths {a.size} and {b.size}")
+    if op == "+":
+        return a + b
+    if op == "-":
+        return np.maximum(a - b, 0)  # monus
+    if op == "*":
+        return a * b
+    if op == "/":
+        if np.any(b == 0):
+            raise BVRAMError("division by zero")
+        return a // b
+    if op == "mod":
+        if np.any(b == 0):
+            raise BVRAMError("modulo by zero")
+        return a % b
+    if op == ">>":
+        return a >> b
+    if op == "min":
+        return np.minimum(a, b)
+    if op == "max":
+        return np.maximum(a, b)
+    if op == "eq":
+        return (a == b).astype(np.int64)
+    if op == "le":
+        return (a <= b).astype(np.int64)
+    if op == "lt":
+        return (a < b).astype(np.int64)
+    raise BVRAMError(f"unknown arithmetic op {op!r}")
+
+
+def bm_route_vec(data: np.ndarray, counts: np.ndarray, bound: np.ndarray) -> np.ndarray:
+    """Bounded monotone routing on vectors (the semantics of the instruction)."""
+    if data.size != counts.size:
+        raise BVRAMError("bm_route: data and counts must have the same length")
+    if int(counts.sum()) != bound.size:
+        raise BVRAMError("bm_route: counts must sum to the length of the bound register")
+    return np.repeat(data, counts)
+
+
+def sbm_route_vec(
+    bound: np.ndarray, counts: np.ndarray, data: np.ndarray, segments: np.ndarray
+) -> np.ndarray:
+    """Segmented bounded monotone routing on vectors."""
+    if counts.size != segments.size:
+        raise BVRAMError("sbm_route: counts and segment descriptor must have the same length")
+    if int(segments.sum()) != data.size:
+        raise BVRAMError("sbm_route: segment descriptor must sum to the data length")
+    out: list[np.ndarray] = []
+    pos = 0
+    for seg_len, count in zip(segments.tolist(), counts.tolist()):
+        seg = data[pos : pos + seg_len]
+        pos += seg_len
+        if count:
+            out.append(np.tile(seg, count))
+    result = np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
+    # The bound pair (bound, counts) must itself be a nested sequence, i.e.
+    # the counts describe a segmentation of the bound register.  This is the
+    # restriction that keeps a single instruction from growing the data by
+    # more than the product of two register lengths (Section 2).
+    if bound.size != int(counts.sum()):
+        raise BVRAMError(
+            f"sbm_route: bound register has length {bound.size}, expected sum(counts) = {int(counts.sum())}"
+        )
+    return result
+
+
+class BVRAM:
+    """A Bounded Vector Random Access Machine (Section 2)."""
+
+    def __init__(self, n_registers: int = 8):
+        if n_registers <= 0:
+            raise ValueError("a BVRAM needs at least one register")
+        self.n_registers = n_registers
+        self.registers: list[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_registers)]
+        self.time = 0
+        self.work = 0
+        self.trace: list[TraceEntry] = []
+
+    # -- register access ----------------------------------------------------
+    def load(self, i: int, values: Sequence[int] | np.ndarray) -> None:
+        """Load an input register before running a program (not counted)."""
+        self.registers[i] = _as_vector(values)
+
+    def register(self, i: int) -> list[int]:
+        return [int(x) for x in self.registers[i]]
+
+    # -- execution ----------------------------------------------------------
+    def _charge(self, opcode: str, instr: isa.Instruction, extra: int = 0) -> None:
+        work = extra
+        for r in instr.registers_read():
+            work += int(self.registers[r].size)
+        for r in instr.registers_written():
+            work += int(self.registers[r].size)
+        self.time += 1
+        self.work += work
+        self.trace.append(TraceEntry(opcode, work))
+
+    def run(
+        self,
+        program: isa.Program,
+        inputs: Optional[Sequence[Sequence[int]]] = None,
+        max_steps: int = 10_000_000,
+    ) -> RunResult:
+        """Execute ``program`` and return the result with T/W counters."""
+        program.validate()
+        if program.n_registers > self.n_registers:
+            raise BVRAMError(
+                f"program needs {program.n_registers} registers, machine has {self.n_registers}"
+            )
+        if inputs is not None:
+            if len(inputs) != program.n_inputs:
+                raise BVRAMError(
+                    f"program expects {program.n_inputs} inputs, got {len(inputs)}"
+                )
+            for i, values in enumerate(inputs):
+                self.load(i, values)
+
+        self.time = 0
+        self.work = 0
+        self.trace = []
+        pc = 0
+        steps = 0
+        code = program.instructions
+        while pc < len(code):
+            if steps >= max_steps:
+                raise BVRAMError(f"exceeded {max_steps} steps (non-terminating program?)")
+            steps += 1
+            instr = code[pc]
+            pc += 1
+
+            if isinstance(instr, isa.Halt):
+                self._charge("halt", instr)
+                break
+            if isinstance(instr, isa.Goto):
+                self._charge("goto", instr)
+                pc = program.labels[instr.label]
+                continue
+            if isinstance(instr, isa.GotoIfEmpty):
+                self._charge("goto_if_empty", instr)
+                if self.registers[instr.src].size == 0:
+                    pc = program.labels[instr.label]
+                continue
+            if isinstance(instr, isa.Move):
+                self.registers[instr.dst] = self.registers[instr.src].copy()
+                self._charge("move", instr)
+                continue
+            if isinstance(instr, isa.Arith):
+                self.registers[instr.dst] = _arith(
+                    instr.op, self.registers[instr.a], self.registers[instr.b]
+                )
+                self._charge(f"arith:{instr.op}", instr)
+                continue
+            if isinstance(instr, isa.LoadEmpty):
+                self.registers[instr.dst] = np.zeros(0, dtype=np.int64)
+                self._charge("load_empty", instr)
+                continue
+            if isinstance(instr, isa.LoadConst):
+                self.registers[instr.dst] = np.array([instr.value], dtype=np.int64)
+                self._charge("load_const", instr)
+                continue
+            if isinstance(instr, isa.AppendI):
+                self.registers[instr.dst] = np.concatenate(
+                    [self.registers[instr.a], self.registers[instr.b]]
+                )
+                self._charge("append", instr)
+                continue
+            if isinstance(instr, isa.LengthI):
+                self.registers[instr.dst] = np.array(
+                    [self.registers[instr.src].size], dtype=np.int64
+                )
+                self._charge("length", instr)
+                continue
+            if isinstance(instr, isa.EnumerateI):
+                self.registers[instr.dst] = np.arange(
+                    self.registers[instr.src].size, dtype=np.int64
+                )
+                self._charge("enumerate", instr)
+                continue
+            if isinstance(instr, isa.BmRoute):
+                self.registers[instr.dst] = bm_route_vec(
+                    self.registers[instr.data],
+                    self.registers[instr.counts],
+                    self.registers[instr.bound],
+                )
+                self._charge("bm_route", instr)
+                continue
+            if isinstance(instr, isa.SbmRoute):
+                self.registers[instr.dst] = sbm_route_vec(
+                    self.registers[instr.bound],
+                    self.registers[instr.counts],
+                    self.registers[instr.data],
+                    self.registers[instr.segments],
+                )
+                self._charge("sbm_route", instr)
+                continue
+            if isinstance(instr, isa.Select):
+                src = self.registers[instr.src]
+                self.registers[instr.dst] = src[src != 0]
+                self._charge("select", instr)
+                continue
+            raise BVRAMError(f"unknown instruction {instr!r}")
+
+        return RunResult(
+            registers=[r.copy() for r in self.registers],
+            time=self.time,
+            work=self.work,
+            trace=list(self.trace),
+        )
+
+
+def run_program(
+    program: isa.Program,
+    inputs: Sequence[Sequence[int]],
+    n_registers: Optional[int] = None,
+) -> RunResult:
+    """Convenience helper: build a machine, run ``program`` on ``inputs``."""
+    machine = BVRAM(n_registers or program.n_registers)
+    return machine.run(program, inputs)

@@ -1,0 +1,162 @@
+"""Hand-written BVRAM programs.
+
+These serve three purposes: they are the unit-test workload for the machine,
+the instruction mix replayed on the butterfly network in experiment E1, and
+small worked examples of the compilation idioms that the flattening passes
+rely on (broadcast with ``bm_route``, packing with ``select``, while loops via
+``goto_if_empty``).
+"""
+
+from __future__ import annotations
+
+from .isa import (
+    AppendI,
+    Arith,
+    BmRoute,
+    EnumerateI,
+    Goto,
+    GotoIfEmpty,
+    Halt,
+    LengthI,
+    LoadConst,
+    LoadEmpty,
+    Move,
+    Program,
+    SbmRoute,
+    Select,
+)
+
+
+def saxpy_program() -> Program:
+    """``V0 <- V0 * V1 + V2`` (elementwise a*x + y); 3 inputs, 1 output."""
+    p = Program(n_registers=4, n_inputs=3, n_outputs=1)
+    p.emit(Arith(dst=3, op="*", a=0, b=1))
+    p.emit(Arith(dst=0, op="+", a=3, b=2))
+    p.emit(Halt())
+    return p
+
+
+def broadcast_program() -> Program:
+    """Broadcast the scalar in V1 over the length of V0 using ``bm_route``.
+
+    Output in V0.  This is the BVRAM idiom for NSC's ``p2``.
+    """
+    p = Program(n_registers=4, n_inputs=2, n_outputs=1)
+    p.emit(LengthI(dst=2, src=0))  # V2 = [n]
+    p.emit(BmRoute(dst=3, data=1, counts=2, bound=0))  # V3 = n copies of V1's value
+    p.emit(Move(dst=0, src=3))
+    p.emit(Halt())
+    return p
+
+
+def filter_leq_program(threshold: int) -> Program:
+    """Pack the elements of V0 that are <= ``threshold``; output in V0.
+
+    Demonstrates the select/pack idiom: values are shifted by +1 before the
+    mask multiplication so that genuine zeros survive the non-zero packing.
+    """
+    p = Program(n_registers=8, n_inputs=1, n_outputs=1)
+    p.emit(LengthI(dst=1, src=0))  # V1 = [n]
+    p.emit(LoadConst(dst=2, value=threshold))  # V2 = [t]
+    p.emit(BmRoute(dst=3, data=2, counts=1, bound=0))  # V3 = [t, t, ..., t]
+    p.emit(Arith(dst=4, op="le", a=0, b=3))  # V4 = mask
+    p.emit(LoadConst(dst=5, value=1))
+    p.emit(BmRoute(dst=6, data=5, counts=1, bound=0))  # V6 = [1, 1, ..., 1]
+    p.emit(Arith(dst=7, op="+", a=0, b=6))  # V7 = x + 1
+    p.emit(Arith(dst=7, op="*", a=7, b=4))  # V7 = (x+1) * mask
+    p.emit(Select(dst=7, src=7))  # pack the survivors
+    p.emit(LengthI(dst=1, src=7))
+    p.emit(BmRoute(dst=6, data=5, counts=1, bound=7))  # ones, resized
+    p.emit(Arith(dst=0, op="-", a=7, b=6))  # undo the +1 shift
+    p.emit(Halt())
+    return p
+
+
+def pairwise_sum_program() -> Program:
+    """Sum the vector in V0 by repeated pairwise addition; output [sum] in V0.
+
+    A while loop over ``goto_if_empty``: each iteration pads the vector to an
+    even length, splits it into the even- and odd-indexed halves with
+    ``select`` and adds them.  T = O(log n), W = O(n) — the BVRAM counterpart
+    of :func:`repro.nsc.lib.reduce_add`.
+
+    Register map: V0 work vector, V1 scratch lengths, V2 constants,
+    V3 enumerate, V4 parity masks, V5/V6 halves, V7 scratch.
+    """
+    p = Program(n_registers=8, n_inputs=1, n_outputs=1)
+    # if the input is empty, return [0]
+    p.emit(GotoIfEmpty(label="empty_input", src=0))
+    p.emit(Goto(label="loop"))
+    p.label("empty_input")
+    p.emit(LoadConst(dst=0, value=0))
+    p.emit(Halt())
+
+    p.label("loop")
+    # stop when a single element remains: V1 = [n] - [1]; empty test needs a
+    # vector, so use select([n - 1]) which is empty iff n == 1.
+    p.emit(LengthI(dst=1, src=0))
+    p.emit(LoadConst(dst=2, value=1))
+    p.emit(Arith(dst=7, op="-", a=1, b=2))
+    p.emit(Select(dst=7, src=7))
+    p.emit(GotoIfEmpty(label="done", src=7))
+
+    # pad to even length: if n mod 2 == 1 append a zero
+    p.emit(LoadConst(dst=2, value=2))
+    p.emit(Arith(dst=7, op="mod", a=1, b=2))
+    p.emit(Select(dst=7, src=7))
+    p.emit(GotoIfEmpty(label="even", src=7))
+    p.emit(LoadConst(dst=7, value=0))
+    p.emit(AppendI(dst=0, a=0, b=7))
+    p.label("even")
+
+    # parity of each position
+    p.emit(EnumerateI(dst=3, src=0))  # V3 = [0..n-1]
+    p.emit(LoadConst(dst=2, value=2))
+    p.emit(LengthI(dst=1, src=0))
+    p.emit(BmRoute(dst=7, data=2, counts=1, bound=0))  # V7 = [2,2,...]
+    p.emit(Arith(dst=4, op="mod", a=3, b=7))  # V4 = parity
+    # even-indexed elements: mask = (parity == 0); pack (x+1)*mask, then -1
+    p.emit(Arith(dst=5, op="*", a=3, b=4))  # reuse: V5 scratch (not needed)
+    p.emit(LoadConst(dst=2, value=1))
+    p.emit(BmRoute(dst=5, data=2, counts=1, bound=0))  # V5 = ones
+    p.emit(Arith(dst=6, op="+", a=0, b=5))  # V6 = x + 1
+    p.emit(Arith(dst=7, op="-", a=5, b=4))  # V7 = 1 - parity  (even mask)
+    p.emit(Arith(dst=7, op="*", a=6, b=7))
+    p.emit(Select(dst=7, src=7))  # packed evens + 1
+    p.emit(Arith(dst=4, op="*", a=6, b=4))  # (x+1) * parity   (odd mask)
+    p.emit(Select(dst=4, src=4))  # packed odds + 1
+    # halves have equal length (we padded); sum them and undo the +2 shift
+    p.emit(Arith(dst=0, op="+", a=7, b=4))  # (evens+1)+(odds+1)
+    p.emit(LoadConst(dst=2, value=2))
+    p.emit(LengthI(dst=1, src=0))  # the work vector just halved
+    p.emit(BmRoute(dst=5, data=2, counts=1, bound=0))  # [2,2,...] resized
+    p.emit(Arith(dst=0, op="-", a=0, b=5))
+    p.emit(Goto(label="loop"))
+
+    p.label("done")
+    p.emit(Halt())
+    return p
+
+
+def cartesian_product_program() -> Program:
+    """Cartesian product of V0 (length m) and V1 (length n) via ``sbm_route``.
+
+    Section 2 notes that ``sbm_route`` with singleton count/segment registers
+    computes a cartesian product.  Output: V0 holds the second coordinates
+    (V1 tiled m times), V1 holds the first coordinates (each element of V0
+    repeated n times); reading them side by side gives the m*n pairs.
+    """
+    p = Program(n_registers=8, n_inputs=2, n_outputs=2)
+    p.emit(LengthI(dst=2, src=0))  # V2 = [m]
+    p.emit(LengthI(dst=3, src=1))  # V3 = [n]
+    # V4 = V1 tiled m times: one segment of length n, replicated m times;
+    # the bound pair is (V0, [m]) — a nested sequence of total length m.
+    p.emit(SbmRoute(dst=4, bound=0, counts=2, data=1, segments=3))
+    # V5 = [n, n, ..., n]  (n broadcast over the m positions of V0)
+    p.emit(BmRoute(dst=5, data=3, counts=2, bound=0))
+    # V6 = each element of V0 repeated n times; bound register is V4 (length m*n)
+    p.emit(BmRoute(dst=6, data=0, counts=5, bound=4))
+    p.emit(Move(dst=0, src=4))
+    p.emit(Move(dst=1, src=6))
+    p.emit(Halt())
+    return p

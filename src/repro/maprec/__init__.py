@@ -1,0 +1,32 @@
+"""Map-recursion (Definition 4.1) and its translation into NSC (Theorem 4.2).
+
+* :mod:`repro.maprec.schema` — the normal form, direct recursive execution and
+  the syntactic map-recursiveness check;
+* :mod:`repro.maprec.translate` — the two-phase (divide / combine) while-based
+  translation into pure NSC;
+* :mod:`repro.maprec.staging` — the staged ``z_i`` buffer cost model that
+  bounds the unbalanced-tree overhead by ``O(v^eps * W)``.
+"""
+
+from .schema import MapRecursiveDef, is_map_recursive, recursion_calls
+from .staging import (
+    AccumulationCost,
+    balanced_level_sizes,
+    naive_accumulation_cost,
+    skewed_level_sizes,
+    staged_accumulation_cost,
+)
+from .translate import translate, translate_to_recfun_and_nsc
+
+__all__ = [
+    "MapRecursiveDef",
+    "is_map_recursive",
+    "recursion_calls",
+    "AccumulationCost",
+    "balanced_level_sizes",
+    "naive_accumulation_cost",
+    "skewed_level_sizes",
+    "staged_accumulation_cost",
+    "translate",
+    "translate_to_recfun_and_nsc",
+]

@@ -1,0 +1,134 @@
+"""Map-recursion: the restricted recursion schema of Definition 4.1.
+
+A function definition is *map-recursive* when it has the shape ::
+
+    fun f(x) = if p(x) then s(x) else c(x, map(f)(d(x)))
+
+where ``p : s -> B``, ``s : s -> t``, ``d : s -> [s]`` and
+``c : s x [t] -> t`` do not mention ``f``.  The recursive call occurs only
+under a single ``map``, so the sub-problems run in parallel under the
+Definition 3.1 cost model.  The schema subsumes the paper's three examples
+(Section 4):
+
+* ``g`` — binary divide and conquer: ``d(x) = [d1(x), d2(x)]``,
+  ``c(x, [r1, r2]) = c'(r1, r2)`` (quicksort, mergesort);
+* ``h`` — tail recursion / single sub-problem: ``d(x) = [d'(x)]``;
+* ``k`` — data-dependent 2-or-3-way splits, which are *not* contained in the
+  sense of Blelloch's VRAM compilation but are still map-recursive.
+
+The paper stresses that map-recursiveness is a *decidable, purely syntactic*
+property (in contrast to containment); :func:`is_map_recursive` implements
+that check for :class:`repro.nsc.ast.RecFun` definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..nsc import ast as A
+from ..nsc import builder as B
+from ..nsc.types import BOOL, FunType, SeqType, Type, prod, seq
+from ..nsc.typecheck import NSCTypeError, infer_function
+
+
+@dataclass(frozen=True)
+class MapRecursiveDef:
+    """A map-recursive definition in the four-component normal form.
+
+    ``f : dom -> cod`` with ::
+
+        f(x) = if pred(x) then base(x) else combine(x, map(f)(divide(x)))
+    """
+
+    name: str
+    dom: Type
+    cod: Type
+    pred: A.Function  # dom -> B
+    base: A.Function  # dom -> cod
+    divide: A.Function  # dom -> [dom]
+    combine: A.Function  # dom x [cod] -> cod
+    #: Optional combine that does not need the original input (the paper's
+    #: pure ``c(g(d1(x)), g(d2(x)))`` form), of type [cod] -> cod.  When
+    #: present, the Theorem 4.2 translation does not have to carry the inputs
+    #: of internal nodes through the while state, which is what makes the
+    #: balanced-tree case ``W' = O(W)`` tight.
+    combine_simple: Optional[A.Function] = None
+
+    def check_types(self) -> None:
+        """Verify the component signatures against ``dom``/``cod``."""
+        pt = infer_function(self.pred)
+        if pt != FunType(self.dom, BOOL):
+            raise NSCTypeError(f"pred must have type {self.dom} -> B, got {pt}")
+        bt = infer_function(self.base)
+        if bt != FunType(self.dom, self.cod):
+            raise NSCTypeError(f"base must have type {self.dom} -> {self.cod}, got {bt}")
+        dt = infer_function(self.divide)
+        if dt != FunType(self.dom, seq(self.dom)):
+            raise NSCTypeError(f"divide must have type {self.dom} -> [{self.dom}], got {dt}")
+        ct = infer_function(self.combine)
+        if ct != FunType(prod(self.dom, seq(self.cod)), self.cod):
+            raise NSCTypeError(
+                f"combine must have type {self.dom} x [{self.cod}] -> {self.cod}, got {ct}"
+            )
+        if self.combine_simple is not None:
+            cst = infer_function(self.combine_simple)
+            if cst != FunType(seq(self.cod), self.cod):
+                raise NSCTypeError(
+                    f"combine_simple must have type [{self.cod}] -> {self.cod}, got {cst}"
+                )
+
+    def to_recfun(self) -> A.RecFun:
+        """The equivalent extended-NSC recursive definition (directly interpretable)."""
+        x = B.gensym("x")
+        y = B.gensym("y")
+        mapped = B.app(
+            B.map_(B.lam(y, self.dom, B.reccall(self.name, B.v(y)))),
+            B.app(self.divide, B.v(x)),
+        )
+        if self.combine_simple is not None:
+            combined = B.app(self.combine_simple, mapped)
+        else:
+            combined = B.app(self.combine, B.pair(B.v(x), mapped))
+        body = B.if_(
+            B.app(self.pred, B.v(x)),
+            B.app(self.base, B.v(x)),
+            combined,
+        )
+        return B.recfun(self.name, x, self.dom, body, self.cod)
+
+
+def is_map_recursive(fn: A.RecFun) -> bool:
+    """Syntactic check of Definition 4.1.
+
+    True iff every recursive call to ``fn.name`` in the body occurs in the
+    eta-expanded position ``map(\\y. f(y))`` — i.e. the recursion is exposed
+    to the parallel ``map`` and nowhere else.  The check is linear in the size
+    of the definition (the paper contrasts this with containment, which is
+    undecidable).
+    """
+    allowed: set[int] = set()
+    for node in A.walk(fn.body):
+        if isinstance(node, A.MapF) and isinstance(node.fn, A.Lambda):
+            inner = node.fn.body
+            if (
+                isinstance(inner, A.RecCall)
+                and inner.name == fn.name
+                and isinstance(inner.arg, A.Var)
+                and inner.arg.name == node.fn.var
+            ):
+                allowed.add(id(inner))
+    for node in A.walk(fn.body):
+        if isinstance(node, A.RecCall) and node.name == fn.name and id(node) not in allowed:
+            return False
+        if isinstance(node, A.RecFun) and node.name == fn.name:
+            # re-definition (shadowing) of the same name is outside Definition 4.1
+            return False
+    return True
+
+
+def recursion_calls(fn: A.RecFun) -> int:
+    """Number of syntactic recursive-call sites (used by tests and reports)."""
+    return sum(
+        1 for node in A.walk(fn.body) if isinstance(node, A.RecCall) and node.name == fn.name
+    )

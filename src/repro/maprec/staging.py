@@ -1,0 +1,149 @@
+"""The staged z_i buffer scheme of the Theorem 4.2 proof — cost model.
+
+The direct while-translation of :mod:`repro.maprec.translate` re-touches the
+accumulated divide-phase levels on every iteration, which costs an extra
+``O(v * W)`` on unbalanced trees (``v`` = number of distinct tree levels that
+contain leaves).  The paper's fix: keep ``1/eps + 1`` staging buffers
+``z_0, ..., z_k``; new leaves are appended to ``z_0`` only; after ``z_i`` has
+been touched ``v^eps`` times its whole content is flushed into ``z_{i+1}``.
+Every element then passes through each buffer once and is touched ``v^eps``
+times in each, so the extra work is ``O((1/eps) * v^eps * W) = O(v^eps * W)``.
+
+This module implements that accounting as an explicit simulator over the
+per-level *sizes* of a divide-and-conquer computation, so experiment E3 can
+regenerate the paper's claimed overheads (naive ``v*W`` vs staged
+``v^eps * W``) and their balanced-tree collapse to ``O(W)`` without having to
+run the (much slower) full NSC interpreter on every configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class AccumulationCost:
+    """Breakdown of the divide-phase accumulation work.
+
+    ``intrinsic``
+        work of producing the levels themselves (sum of level sizes) — the
+        lower bound ``Theta(W)`` that any scheme pays;
+    ``overhead``
+        extra work spent re-touching already-produced data;
+    ``total``
+        ``intrinsic + overhead``.
+    """
+
+    intrinsic: int
+    overhead: int
+
+    @property
+    def total(self) -> int:
+        return self.intrinsic + self.overhead
+
+    @property
+    def overhead_factor(self) -> float:
+        """``total / intrinsic`` — the multiplicative work blow-up."""
+        if self.intrinsic == 0:
+            return 1.0
+        return self.total / self.intrinsic
+
+
+def naive_accumulation_cost(level_sizes: Sequence[int]) -> AccumulationCost:
+    """Cost of the direct translation: every iteration re-touches all levels so far.
+
+    Appending level ``i`` to the record costs (per the NSC append/while rules)
+    the size of everything recorded so far plus the new level.
+    """
+    intrinsic = sum(level_sizes)
+    overhead = 0
+    acc = 0
+    for size in level_sizes:
+        overhead += acc  # re-touching the already recorded prefix
+        acc += size
+    return AccumulationCost(intrinsic=intrinsic, overhead=overhead)
+
+
+def staged_accumulation_cost(level_sizes: Sequence[int], eps: float) -> AccumulationCost:
+    """Cost of the staged z_i scheme with parameter ``eps`` (Theorem 4.2 proof).
+
+    ``k = ceil(1/eps)`` buffers; ``z_i`` is flushed into ``z_{i+1}`` after it
+    has been touched ``ceil(v^eps)`` times, where ``v`` is the number of
+    levels.  Touching a buffer costs its current size.
+    """
+    if not 0 < eps <= 1:
+        raise ValueError("eps must lie in (0, 1]")
+    v = max(1, len(level_sizes))
+    period = max(2, math.ceil(v**eps))
+    k = max(1, math.ceil(1.0 / eps))
+    sizes = [0] * (k + 1)  # current content size of z_0 .. z_k
+    touches = [0] * (k + 1)
+    intrinsic = sum(level_sizes)
+    overhead = 0
+
+    def flush(i: int) -> None:
+        nonlocal overhead
+        if i + 1 > k:
+            return  # the last buffer only accumulates
+        # moving z_i into z_{i+1} touches both buffers once
+        overhead += sizes[i] + sizes[i + 1]
+        sizes[i + 1] += sizes[i]
+        sizes[i] = 0
+        touches[i] = 0
+        touches[i + 1] += 1
+        if touches[i + 1] >= period:
+            flush(i + 1)
+
+    for size in level_sizes:
+        # appending the new level touches z_0
+        overhead += sizes[0]
+        sizes[0] += size
+        touches[0] += 1
+        if touches[0] >= period:
+            flush(0)
+    return AccumulationCost(intrinsic=intrinsic, overhead=overhead)
+
+
+def balanced_level_sizes(leaves: int, fanout: int = 2, leaf_size: int = 1) -> list[int]:
+    """Level sizes of a perfectly balanced divide-and-conquer tree."""
+    sizes = []
+    width = 1
+    while width < leaves:
+        sizes.append(width * leaf_size)
+        width *= fanout
+    sizes.append(leaves * leaf_size)
+    return sizes
+
+
+def skewed_level_sizes(leaves: int, leaf_size: int = 1) -> list[int]:
+    """Level sizes of a maximally unbalanced tree (one leaf peels off per level).
+
+    This is the adversarial case of Theorem 4.2: ``v`` (the number of levels
+    containing leaves) equals the number of leaves.
+    """
+    return [max(1, (leaves - i)) * leaf_size for i in range(leaves)]
+
+
+def level_sizes_from_recursion(
+    x: object,
+    pred: Callable[[object], bool],
+    divide: Callable[[object], list],
+    size_of: Callable[[object], int],
+) -> list[int]:
+    """Run a divide-and-conquer recursion shape in Python and record level sizes.
+
+    Used to feed the accumulation-cost models with the exact level profile of
+    a given workload (e.g. quicksort on sorted input vs random input).
+    """
+    sizes: list[int] = []
+    frontier = [x]
+    while frontier:
+        sizes.append(sum(size_of(item) for item in frontier))
+        next_frontier: list = []
+        for item in frontier:
+            if not pred(item):
+                next_frontier.extend(divide(item))
+        frontier = next_frontier
+    return sizes

@@ -1,0 +1,181 @@
+"""Theorem 4.2: translating map-recursion into pure (while-based) NSC.
+
+Given a map-recursive definition ::
+
+    f(x) = if p(x) then s(x) else c(x, map(f)(d(x)))
+
+the translation produces an equivalent NSC function with no recursion, built
+from two ``while`` loops exactly as in the paper's proof sketch:
+
+Divide phase
+    Starting from the singleton frontier ``[x]``, repeatedly expand every
+    internal node (one whose predicate is false) into its sub-problems, one
+    tree level per iteration.  For every level a slim record is kept: leaves
+    are stored as their *base result* (``s`` is applied eagerly, as the paper
+    does at the start of its combine phase), internal nodes as their child
+    count — plus, only when the combine function genuinely needs it, the
+    original input.
+
+Combine phase
+    Walk the recorded levels bottom-up.  The results of level ``i+1`` are
+    split according to the child counts of level ``i``'s nodes (leaves count
+    0) and each level-``i`` node either returns its stored base result (leaf)
+    or applies the combine function to its group of child results.  This is
+    the paper's "combine adjacent elements of the same depth" bookkeeping.
+
+Complexity
+    ``T' = O(T)``: each while iteration performs one level of the recursion
+    with a constant number of extra primitive steps, and the number of
+    iterations is the tree depth (divide) plus the tree depth (combine).
+    For a *balanced* tree the recorded levels are geometrically dominated by
+    the frontier, so ``W' = O(W)`` as Theorem 4.2 claims.  For unbalanced
+    trees this direct translation pays the ``O(v * W)`` re-touching overhead
+    that the paper removes with its staged ``z_i`` buffers;
+    :mod:`repro.maprec.staging` models that staged scheme and quantifies the
+    ``O(v^eps * W)`` bound (experiment E3).
+"""
+
+from __future__ import annotations
+
+from ..nsc import ast as A
+from ..nsc import builder as B
+from ..nsc import lib
+from ..nsc.types import NAT, ProdType, SeqType, SumType, Type, prod, seq, sum_t
+from .schema import MapRecursiveDef
+
+
+def translate(defn: MapRecursiveDef) -> A.Lambda:
+    """Translate a map-recursive definition into pure NSC (no recursion nodes).
+
+    Returns a closed :class:`repro.nsc.ast.Lambda` of classification
+    ``defn.dom -> defn.cod`` containing only core NSC constructs (``while``,
+    ``map``, sequences, sums) — ready for the Section 7 compilation chain.
+    """
+    dom, cod = defn.dom, defn.cod
+    simple = defn.combine_simple is not None
+    # Level entries: leaves carry their (eagerly computed) base result,
+    # internal nodes carry their child count — and their original input only
+    # when the combine function needs it.
+    keep_t: Type = NAT if simple else prod(dom, NAT)
+    entry_t: Type = sum_t(cod, keep_t)
+    level_t = seq(entry_t)
+    levels_t = seq(level_t)
+
+    # classify : dom -> entry
+    cx = B.gensym("cx")
+    if simple:
+        internal_payload: A.Term = B.length_(B.app(defn.divide, B.v(cx)))
+    else:
+        internal_payload = B.pair(B.v(cx), B.length_(B.app(defn.divide, B.v(cx))))
+    classify = B.lam(
+        cx,
+        dom,
+        B.if_(
+            B.app(defn.pred, B.v(cx)),
+            B.inl(B.app(defn.base, B.v(cx)), keep_t),
+            B.inr(internal_payload, cod),
+        ),
+    )
+
+    # expand : dom -> [dom]  (children of a frontier node; [] for leaves)
+    ex = B.gensym("ex")
+    expand = B.lam(
+        ex,
+        dom,
+        B.if_(B.app(defn.pred, B.v(ex)), B.empty(dom), B.app(defn.divide, B.v(ex))),
+    )
+
+    # ---------------- divide phase ----------------
+    # State: (recorded levels, frontier of unclassified inputs).
+    div_state_t = prod(levels_t, seq(dom))
+    st = B.gensym("st")
+    div_pred = B.lam(st, div_state_t, B.gt(B.length_(B.snd(B.v(st))), 0))
+
+    st2 = B.gensym("st")
+    div_body = B.lam(
+        st2,
+        div_state_t,
+        B.pair(
+            B.append(
+                B.fst(B.v(st2)),
+                B.single(B.app(B.map_(classify), B.snd(B.v(st2)))),
+            ),
+            B.flatten_(B.app(B.map_(expand), B.snd(B.v(st2)))),
+        ),
+    )
+
+    # ---------------- combine phase ----------------
+    # State: (levels still to fold, results of the level just below).
+    comb_state_t = prod(levels_t, seq(cod))
+    cs = B.gensym("cs")
+    comb_pred = B.lam(cs, comb_state_t, B.gt(B.length_(B.fst(B.v(cs))), 0))
+
+    # child count of an entry: 0 for leaves, the recorded count otherwise
+    ce = B.gensym("e")
+    l3, r3 = B.gensym("l"), B.gensym("r")
+    count_payload: A.Term = B.v(r3) if simple else B.snd(B.v(r3))
+    child_count = B.lam(ce, entry_t, B.case_(B.v(ce), l3, B.c(0), r3, count_payload))
+
+    # fold one (entry, group-of-child-results) pair
+    fe = B.gensym("eg")
+    l4, r4 = B.gensym("l"), B.gensym("r")
+    if simple:
+        internal_fold: A.Term = B.app(defn.combine_simple, B.snd(B.v(fe)))  # type: ignore[arg-type]
+    else:
+        internal_fold = B.app(defn.combine, B.pair(B.fst(B.v(r4)), B.snd(B.v(fe))))
+    fold_one = B.lam(
+        fe,
+        prod(entry_t, seq(cod)),
+        B.case_(B.fst(B.v(fe)), l4, B.v(l4), r4, internal_fold),
+    )
+
+    cs2 = B.gensym("cs")
+    cur = B.gensym("cur")
+    counts = B.gensym("cnt")
+    groups = B.gensym("grp")
+    newres = B.gensym("res")
+    comb_body = B.lam(
+        cs2,
+        comb_state_t,
+        B.lets(
+            [
+                (cur, B.app(lib.last(level_t), B.fst(B.v(cs2)))),
+                (counts, B.app(B.map_(child_count), B.v(cur))),
+                (groups, B.split_(B.snd(B.v(cs2)), B.v(counts))),
+                (newres, B.app(B.map_(fold_one), B.zip_(B.v(cur), B.v(groups)))),
+            ],
+            B.pair(B.app(lib.remove_last(level_t), B.fst(B.v(cs2))), B.v(newres)),
+        ),
+    )
+
+    # ---------------- wrapper ----------------
+    x = B.gensym("x")
+    levels = B.gensym("levels")
+    final = B.gensym("final")
+    body = B.lets(
+        [
+            (
+                levels,
+                B.fst(
+                    B.app(
+                        B.while_(div_pred, div_body),
+                        B.pair(B.empty(level_t), B.single(B.v(x))),
+                    )
+                ),
+            ),
+            (
+                final,
+                B.app(
+                    B.while_(comb_pred, comb_body),
+                    B.pair(B.v(levels), B.empty(cod)),
+                ),
+            ),
+        ],
+        B.get_(B.snd(B.v(final))),
+    )
+    return B.lam(x, dom, body)
+
+
+def translate_to_recfun_and_nsc(defn: MapRecursiveDef) -> tuple[A.RecFun, A.Lambda]:
+    """Both forms of a definition: the recursive original and its NSC translation."""
+    return defn.to_recfun(), translate(defn)

@@ -1,0 +1,75 @@
+"""The Nested Sequence Calculus (NSC) — the paper's source language (Section 3).
+
+Public surface:
+
+* :mod:`repro.nsc.types` — the type grammar (unit, N, products, sums, sequences);
+* :mod:`repro.nsc.values` — S-objects and the unit-cost size measure;
+* :mod:`repro.nsc.ast` — terms and functions;
+* :mod:`repro.nsc.builder` — ergonomic program construction;
+* :mod:`repro.nsc.typecheck` — the Appendix A typing rules;
+* :mod:`repro.nsc.eval` — big-step semantics with the Definition 3.1 T/W cost model;
+* :mod:`repro.nsc.lib` — the paper's derived functions (p2, bm_route, filter, ...);
+* :mod:`repro.nsc.pretty` — a printer in the paper's notation.
+"""
+
+from . import ast, builder, lib, pretty, typecheck, types, values
+from .eval import NSCEvalError, Outcome, apply_function, evaluate, run
+from .typecheck import NSCTypeError, infer_function, infer_term
+from .types import BOOL, NAT, UNIT, FunType, ProdType, SeqType, SumType, Type, prod, seq, sum_t
+from .values import (
+    FALSE,
+    TRUE,
+    UNIT_VALUE,
+    Value,
+    VInl,
+    VInr,
+    VNat,
+    VPair,
+    VSeq,
+    VUnit,
+    from_python,
+    nat_list,
+    to_python,
+)
+
+__all__ = [
+    "ast",
+    "builder",
+    "lib",
+    "pretty",
+    "typecheck",
+    "types",
+    "values",
+    "NSCEvalError",
+    "NSCTypeError",
+    "Outcome",
+    "apply_function",
+    "evaluate",
+    "run",
+    "infer_function",
+    "infer_term",
+    "BOOL",
+    "NAT",
+    "UNIT",
+    "FunType",
+    "ProdType",
+    "SeqType",
+    "SumType",
+    "Type",
+    "prod",
+    "seq",
+    "sum_t",
+    "FALSE",
+    "TRUE",
+    "UNIT_VALUE",
+    "Value",
+    "VInl",
+    "VInr",
+    "VNat",
+    "VPair",
+    "VSeq",
+    "VUnit",
+    "from_python",
+    "nat_list",
+    "to_python",
+]

@@ -1,0 +1,493 @@
+"""Abstract syntax of the Nested Sequence Calculus (Section 3 / Appendix A).
+
+NSC expressions fall into two syntactic categories:
+
+* **terms** ``M, N, P, ...`` which have an object type ``t``;
+* **functions** ``F, G, ...`` which are classified by ``s -> t`` (not a type).
+
+Term formers
+    variables, the error term, natural constants, arithmetic ``M op N`` with
+    ``op`` drawn from the parameter set Sigma, equality ``M = N``, the unit
+    value, pairs and projections, injections and ``case``, function
+    application ``F(M)``, and the collection/sequence constructs ``[]``,
+    ``[M]``, ``M @ N``, ``flatten``, ``length``, ``get``, ``zip``,
+    ``enumerate`` and ``split``.
+
+Function formers
+    lambda abstraction ``\\x:s. M``, ``map(F)`` (the only source of
+    parallelism) and ``while(P, F)``.
+
+Two *extensions* used by the rest of the code base are also represented here
+and are explicitly not part of core NSC:
+
+* :class:`Let` — block structure (Section 4 allows it; it desugars to an
+  application of a lambda, which :func:`desugar` performs);
+* :class:`RecFun` / :class:`RecCall` — named recursive definitions.  These are
+  the input of the map-recursion translation (Definition 4.1 / Theorem 4.2,
+  implemented in :mod:`repro.maprec`), which removes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .types import Type
+
+# The arithmetic signature Sigma (Section 2/3).  ``-`` is *monus*
+# (truncated subtraction), ``/`` is integer division, ``>>`` is right-shift
+# and ``log2`` is the floor of the base-2 logarithm (a unary op encoded as a
+# binary op ignoring its second argument would be awkward, so it is unary).
+BINARY_OPS = ("+", "-", "*", "/", "mod", ">>", "min", "max")
+UNARY_OPS = ("log2", "sqrt")
+
+
+class Expr:
+    """Common base class for terms and functions (useful for traversals)."""
+
+    __slots__ = ()
+
+    def children(self) -> Iterator["Expr"]:
+        """Iterate over immediate sub-expressions."""
+        raise NotImplementedError
+
+
+class Term(Expr):
+    """Base class of NSC terms."""
+
+    __slots__ = ()
+
+
+class Function(Expr):
+    """Base class of NSC functions (classified by ``s -> t``)."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A term variable."""
+
+    name: str
+
+    def children(self) -> Iterator[Expr]:
+        return iter(())
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorTerm(Term):
+    """The error term Omega, at an annotated type."""
+
+    type: Type
+
+    def children(self) -> Iterator[Expr]:
+        return iter(())
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Term):
+    """A natural-number constant ``n : N``."""
+
+    value: int
+
+    def children(self) -> Iterator[Expr]:
+        return iter(())
+
+
+@dataclass(frozen=True, slots=True)
+class UnitTerm(Term):
+    """The empty tuple ``() : unit``."""
+
+    def children(self) -> Iterator[Expr]:
+        return iter(())
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Term):
+    """Arithmetic ``M op N`` with ``op`` in Sigma (both operands of type N)."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown arithmetic operation {self.op!r}")
+
+    def children(self) -> Iterator[Expr]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp(Term):
+    """Unary arithmetic (``log2``, ``sqrt``) on a natural."""
+
+    op: str
+    arg: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operation {self.op!r}")
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Eq(Term):
+    """Equality test ``M = N : B`` (structural equality on S-objects)."""
+
+    left: Term
+    right: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True, slots=True)
+class PairTerm(Term):
+    """Pairing ``(M, N)``."""
+
+    fst: Term
+    snd: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.fst
+        yield self.snd
+
+
+@dataclass(frozen=True, slots=True)
+class Proj(Term):
+    """Projection ``pi_1`` / ``pi_2``; ``index`` is 1 or 2."""
+
+    index: int
+    arg: Term
+
+    def __post_init__(self) -> None:
+        if self.index not in (1, 2):
+            raise ValueError("projection index must be 1 or 2")
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Inl(Term):
+    """Left injection ``inl(M) : s + t`` (``right`` annotates ``t``)."""
+
+    arg: Term
+    right: Optional[Type] = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Inr(Term):
+    """Right injection ``inr(M) : s + t`` (``left`` annotates ``s``)."""
+
+    arg: Term
+    left: Optional[Type] = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Case(Term):
+    """``case M of inl(x) => N | inr(y) => P``."""
+
+    scrutinee: Term
+    left_var: str
+    left_body: Term
+    right_var: str
+    right_body: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.scrutinee
+        yield self.left_body
+        yield self.right_body
+
+
+@dataclass(frozen=True, slots=True)
+class Apply(Term):
+    """Function application ``F(M)``."""
+
+    fn: "Function"
+    arg: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.fn
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class EmptySeq(Term):
+    """The empty sequence ``[] : [elem]``."""
+
+    elem: Type
+
+    def children(self) -> Iterator[Expr]:
+        return iter(())
+
+
+@dataclass(frozen=True, slots=True)
+class Singleton(Term):
+    """The singleton sequence ``[M]``."""
+
+    arg: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Append(Term):
+    """Sequence append ``M @ N``."""
+
+    left: Term
+    right: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True, slots=True)
+class Flatten(Term):
+    """``flatten(M) : [t]`` for ``M : [[t]]``."""
+
+    arg: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Length(Term):
+    """``length(M) : N``."""
+
+    arg: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Get(Term):
+    """``get(M) : t`` for ``M : [t]``: get([x]) = x, otherwise the error value."""
+
+    arg: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Zip(Term):
+    """``zip(M, N) : [s x t]``; undefined when lengths differ."""
+
+    left: Term
+    right: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True, slots=True)
+class Enumerate(Term):
+    """``enumerate(M) : [N]`` = [0, ..., length(M)-1]."""
+
+    arg: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+@dataclass(frozen=True, slots=True)
+class Split(Term):
+    """``split(M, N) : [[t]]`` splits ``M`` according to the counts in ``N``.
+
+    Defined only when the counts in ``N`` sum to ``length(M)``.
+    """
+
+    data: Term
+    counts: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.data
+        yield self.counts
+
+
+@dataclass(frozen=True, slots=True)
+class Let(Term):
+    """Block structure ``let var = bound in body`` (extension; Section 4).
+
+    Desugars to ``(\\var. body)(bound)``; kept as a node for readability of
+    the algorithm programs and the pretty printer.
+    """
+
+    var: str
+    bound: Term
+    body: Term
+    var_type: Optional[Type] = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.bound
+        yield self.body
+
+
+@dataclass(frozen=True, slots=True)
+class RecCall(Term):
+    """A call ``f(M)`` to the enclosing named recursive definition (extension)."""
+
+    name: str
+    arg: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.arg
+
+
+# ---------------------------------------------------------------------------
+# Functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Lambda(Function):
+    """Lambda abstraction ``\\var : var_type . body`` of classification ``s -> t``."""
+
+    var: str
+    var_type: Type
+    body: Term
+
+    def children(self) -> Iterator[Expr]:
+        yield self.body
+
+
+@dataclass(frozen=True, slots=True)
+class MapF(Function):
+    """``map(F) : [s] -> [t]`` — the sole parallel construct of NSC."""
+
+    fn: Function
+
+    def children(self) -> Iterator[Expr]:
+        yield self.fn
+
+
+@dataclass(frozen=True, slots=True)
+class WhileF(Function):
+    """``while(P, F) : t -> t`` with ``P : t -> B`` and ``F : t -> t``."""
+
+    pred: Function
+    body: Function
+
+    def children(self) -> Iterator[Expr]:
+        yield self.pred
+        yield self.body
+
+
+@dataclass(frozen=True, slots=True)
+class RecFun(Function):
+    """A named recursive definition ``fun name(var : var_type) = body`` (extension).
+
+    ``body`` may contain :class:`RecCall` nodes referring to ``name``.  The
+    map-recursion translation (Theorem 4.2) eliminates these nodes; the
+    evaluator also interprets them directly so that translated and direct
+    versions can be compared (E3).
+    """
+
+    name: str
+    var: str
+    var_type: Type
+    body: Term
+    cod: Optional[Type] = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.body
+
+
+# ---------------------------------------------------------------------------
+# Generic helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(e: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield e
+    for child in e.children():
+        yield from walk(child)
+
+
+def free_vars(e: Expr) -> frozenset[str]:
+    """Free term variables of an expression."""
+    if isinstance(e, Var):
+        return frozenset({e.name})
+    if isinstance(e, Lambda):
+        return free_vars(e.body) - {e.var}
+    if isinstance(e, RecFun):
+        return free_vars(e.body) - {e.var}
+    if isinstance(e, Let):
+        return free_vars(e.bound) | (free_vars(e.body) - {e.var})
+    if isinstance(e, Case):
+        return (
+            free_vars(e.scrutinee)
+            | (free_vars(e.left_body) - {e.left_var})
+            | (free_vars(e.right_body) - {e.right_var})
+        )
+    out: frozenset[str] = frozenset()
+    for child in e.children():
+        out |= free_vars(child)
+    return out
+
+
+def uses_recursion(e: Expr) -> bool:
+    """True when the expression contains a :class:`RecCall` or :class:`RecFun` node."""
+    return any(isinstance(node, (RecCall, RecFun)) for node in walk(e))
+
+
+def uses_let(e: Expr) -> bool:
+    """True when the expression contains a :class:`Let` node."""
+    return any(isinstance(node, Let) for node in walk(e))
+
+
+def desugar(e: Expr) -> Expr:
+    """Remove :class:`Let` nodes, producing core NSC (plus any recursion nodes).
+
+    ``let x = M in N`` becomes ``(\\x:s. N)(M)``; the variable type must have
+    been annotated (the builder and the type checker fill it in).
+    """
+    if isinstance(e, Let):
+        bound = desugar(e.bound)
+        body = desugar(e.body)
+        if e.var_type is None:
+            raise ValueError(
+                f"cannot desugar let-binding of {e.var!r}: missing type annotation "
+                "(run the type checker first or use the builder)"
+            )
+        return Apply(Lambda(e.var, e.var_type, body), bound)
+    # Rebuild the node with desugared children.  dataclasses are frozen, so we
+    # reconstruct via their fields.
+    if isinstance(e, (Var, ErrorTerm, Const, UnitTerm, EmptySeq)):
+        return e
+    kwargs = {}
+    for name in e.__dataclass_fields__:  # type: ignore[attr-defined]
+        value = getattr(e, name)
+        if isinstance(value, Expr):
+            kwargs[name] = desugar(value)
+        else:
+            kwargs[name] = value
+    return type(e)(**kwargs)
+
+
+def count_nodes(e: Expr) -> int:
+    """Number of AST nodes (used by tests and the pretty printer)."""
+    return sum(1 for _ in walk(e))

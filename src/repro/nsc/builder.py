@@ -1,0 +1,326 @@
+"""Ergonomic construction of NSC programs.
+
+The calculus of Section 3 is deliberately spartan; writing the paper's
+programs (Figures 1-3) directly as dataclass constructors would be unreadable.
+This module provides short, composable builder functions.  Everything returned
+is a plain :mod:`repro.nsc.ast` node — the builders add no new semantics.
+
+Naming follows the paper: ``inl/inr``, ``case_``, ``map_``, ``while_``,
+``flatten_``, ``enumerate_``, ``split_``, etc.  ``if_(b, m, n)`` is the
+derived conditional ``case b of inl(u) => m | inr(v) => n`` (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from . import ast as A
+from .types import BOOL, NAT, UNIT, SeqType, Type
+
+TermLike = Union[A.Term, int]
+
+_gensym_counter = 0
+
+
+def gensym(prefix: str = "v") -> str:
+    """Fresh variable name (used by derived forms to avoid capture)."""
+    global _gensym_counter
+    _gensym_counter += 1
+    return f"_{prefix}{_gensym_counter}"
+
+
+def _term(x: TermLike) -> A.Term:
+    if isinstance(x, A.Term):
+        return x
+    if isinstance(x, bool):
+        return true() if x else false()
+    if isinstance(x, int):
+        return A.Const(x)
+    raise TypeError(f"cannot treat {x!r} as an NSC term")
+
+
+# -- variables, constants, unit, error --------------------------------------
+
+
+def v(name: str) -> A.Var:
+    """A term variable."""
+    return A.Var(name)
+
+
+def c(n: int) -> A.Const:
+    """A natural-number constant."""
+    return A.Const(n)
+
+
+def unit() -> A.UnitTerm:
+    """The empty tuple ``()``."""
+    return A.UnitTerm()
+
+
+def error(t: Type) -> A.ErrorTerm:
+    """The error term Omega at type ``t``."""
+    return A.ErrorTerm(t)
+
+
+# -- arithmetic --------------------------------------------------------------
+
+
+def add(a: TermLike, b: TermLike) -> A.BinOp:
+    return A.BinOp("+", _term(a), _term(b))
+
+
+def sub(a: TermLike, b: TermLike) -> A.BinOp:
+    """Monus (truncated subtraction)."""
+    return A.BinOp("-", _term(a), _term(b))
+
+
+def mul(a: TermLike, b: TermLike) -> A.BinOp:
+    return A.BinOp("*", _term(a), _term(b))
+
+
+def div(a: TermLike, b: TermLike) -> A.BinOp:
+    return A.BinOp("/", _term(a), _term(b))
+
+
+def mod(a: TermLike, b: TermLike) -> A.BinOp:
+    return A.BinOp("mod", _term(a), _term(b))
+
+
+def rshift(a: TermLike, b: TermLike) -> A.BinOp:
+    return A.BinOp(">>", _term(a), _term(b))
+
+
+def nat_min(a: TermLike, b: TermLike) -> A.BinOp:
+    return A.BinOp("min", _term(a), _term(b))
+
+
+def nat_max(a: TermLike, b: TermLike) -> A.BinOp:
+    return A.BinOp("max", _term(a), _term(b))
+
+
+def log2(a: TermLike) -> A.UnOp:
+    return A.UnOp("log2", _term(a))
+
+
+def isqrt(a: TermLike) -> A.UnOp:
+    return A.UnOp("sqrt", _term(a))
+
+
+def eq(a: TermLike, b: TermLike) -> A.Eq:
+    """Equality test, of type ``B``."""
+    return A.Eq(_term(a), _term(b))
+
+
+# -- products ----------------------------------------------------------------
+
+
+def pair(a: TermLike, b: TermLike) -> A.PairTerm:
+    return A.PairTerm(_term(a), _term(b))
+
+
+def fst(a: TermLike) -> A.Proj:
+    return A.Proj(1, _term(a))
+
+
+def snd(a: TermLike) -> A.Proj:
+    return A.Proj(2, _term(a))
+
+
+def tuple_(*parts: TermLike) -> A.Term:
+    """Right-nested tuple ``(a, (b, (c, ...)))``."""
+    terms = [_term(p) for p in parts]
+    if len(terms) < 2:
+        raise ValueError("tuple_ needs at least two components")
+    out = terms[-1]
+    for t in reversed(terms[:-1]):
+        out = A.PairTerm(t, out)
+    return out
+
+
+# -- sums and booleans -------------------------------------------------------
+
+
+def inl(a: TermLike, right: Optional[Type] = None) -> A.Inl:
+    return A.Inl(_term(a), right)
+
+
+def inr(a: TermLike, left: Optional[Type] = None) -> A.Inr:
+    return A.Inr(_term(a), left)
+
+
+def case_(
+    scrut: TermLike,
+    left_var: str,
+    left_body: TermLike,
+    right_var: str,
+    right_body: TermLike,
+) -> A.Case:
+    return A.Case(_term(scrut), left_var, _term(left_body), right_var, _term(right_body))
+
+
+def true() -> A.Term:
+    """``true = inl(()) : B``."""
+    return A.Inl(A.UnitTerm(), UNIT)
+
+
+def false() -> A.Term:
+    """``false = inr(()) : B``."""
+    return A.Inr(A.UnitTerm(), UNIT)
+
+
+def if_(cond: TermLike, then: TermLike, otherwise: TermLike) -> A.Case:
+    """Derived conditional (Section 3): ``case cond of inl(u) => then | inr(v) => otherwise``."""
+    return case_(cond, gensym("u"), then, gensym("w"), otherwise)
+
+
+def not_(b: TermLike) -> A.Case:
+    return if_(b, false(), true())
+
+
+def and_(a: TermLike, b: TermLike) -> A.Case:
+    return if_(a, b, false())
+
+
+def or_(a: TermLike, b: TermLike) -> A.Case:
+    return if_(a, true(), b)
+
+
+def le(a: TermLike, b: TermLike) -> A.Term:
+    """``a <= b``, derived as ``(a monus b) = 0``."""
+    return eq(sub(a, b), 0)
+
+
+def lt(a: TermLike, b: TermLike) -> A.Term:
+    """``a < b``, derived as ``(a+1 monus b) = 0``."""
+    return eq(sub(add(a, 1), b), 0)
+
+
+def ge(a: TermLike, b: TermLike) -> A.Term:
+    return le(b, a)
+
+
+def gt(a: TermLike, b: TermLike) -> A.Term:
+    return lt(b, a)
+
+
+def is_zero(a: TermLike) -> A.Term:
+    return eq(a, 0)
+
+
+# -- functions ---------------------------------------------------------------
+
+
+def lam(var: str, var_type: Type, body: TermLike) -> A.Lambda:
+    return A.Lambda(var, var_type, _term(body))
+
+
+def app(fn: A.Function, arg: TermLike) -> A.Apply:
+    return A.Apply(fn, _term(arg))
+
+
+def map_(fn: A.Function) -> A.MapF:
+    return A.MapF(fn)
+
+
+def while_(pred: A.Function, body: A.Function) -> A.WhileF:
+    return A.WhileF(pred, body)
+
+
+def compose(outer: A.Function, inner: A.Function, var: str | None = None, dom: Type | None = None) -> A.Lambda:
+    """Function composition ``outer o inner`` as a lambda (NSC has no primitive compose).
+
+    ``dom`` defaults to the inner lambda's domain when available.
+    """
+    if dom is None:
+        if isinstance(inner, A.Lambda):
+            dom = inner.var_type
+        else:
+            raise ValueError("compose needs an explicit domain for non-lambda inner functions")
+    x = var or gensym("x")
+    return A.Lambda(x, dom, A.Apply(outer, A.Apply(inner, A.Var(x))))
+
+
+def recfun(name: str, var: str, var_type: Type, body: TermLike, cod: Optional[Type] = None) -> A.RecFun:
+    """A named recursive definition (extension; input of Theorem 4.2)."""
+    return A.RecFun(name, var, var_type, _term(body), cod)
+
+
+def reccall(name: str, arg: TermLike) -> A.RecCall:
+    return A.RecCall(name, _term(arg))
+
+
+# -- let blocks --------------------------------------------------------------
+
+
+def let(var: str, bound: TermLike, body: TermLike, var_type: Optional[Type] = None) -> A.Let:
+    return A.Let(var, _term(bound), _term(body), var_type)
+
+
+def lets(bindings: Sequence[tuple[str, TermLike]], body: TermLike) -> A.Term:
+    """Nested let block ``let x1 = e1 ... xn = en in body``."""
+    out = _term(body)
+    for name, bound in reversed(list(bindings)):
+        out = A.Let(name, _term(bound), out, None)
+    return out
+
+
+# -- sequences ---------------------------------------------------------------
+
+
+def empty(elem: Type) -> A.EmptySeq:
+    return A.EmptySeq(elem)
+
+
+def single(a: TermLike) -> A.Singleton:
+    return A.Singleton(_term(a))
+
+
+def append(a: TermLike, b: TermLike) -> A.Append:
+    return A.Append(_term(a), _term(b))
+
+
+def concat(*parts: TermLike) -> A.Term:
+    """Left-nested append of several sequences."""
+    terms = [_term(p) for p in parts]
+    out = terms[0]
+    for t in terms[1:]:
+        out = A.Append(out, t)
+    return out
+
+
+def seq_of(items: Iterable[TermLike], elem: Type) -> A.Term:
+    """Build a literal sequence ``[a, b, c] : [elem]`` from terms."""
+    terms = [_term(i) for i in items]
+    out: A.Term = A.EmptySeq(elem)
+    for t in terms:
+        out = A.Append(out, A.Singleton(t))
+    return out
+
+
+def nat_seq(values: Sequence[int]) -> A.Term:
+    """Literal ``[N]`` sequence from Python ints."""
+    return seq_of([c(int(x)) for x in values], NAT)
+
+
+def flatten_(a: TermLike) -> A.Flatten:
+    return A.Flatten(_term(a))
+
+
+def length_(a: TermLike) -> A.Length:
+    return A.Length(_term(a))
+
+
+def get_(a: TermLike) -> A.Get:
+    return A.Get(_term(a))
+
+
+def zip_(a: TermLike, b: TermLike) -> A.Zip:
+    return A.Zip(_term(a), _term(b))
+
+
+def enumerate_(a: TermLike) -> A.Enumerate:
+    return A.Enumerate(_term(a))
+
+
+def split_(data: TermLike, counts: TermLike) -> A.Split:
+    return A.Split(_term(data), _term(counts))

@@ -1,0 +1,498 @@
+"""Big-step operational semantics of NSC with the T/W cost model.
+
+Implements Appendix B (natural semantics with environments) together with
+Definition 3.1, which assigns to every evaluation ``M \\Downarrow C`` a
+*parallel time* ``T`` and a *work* ``W``:
+
+* for every rule except ``map`` and ``while``::
+
+      T = 1 + sum of the premises' T
+      W = SIZE + sum of the premises' W
+
+  where ``SIZE`` is the total size of the S-objects mentioned in the rule
+  (the premises' results and the conclusion's result).  For the
+  function-application rules SIZE additionally includes the values of the
+  *free variables* of the function being applied — the closure an
+  implementation has to materialise (and, under ``map``, broadcast to every
+  element; this is what makes the paper's ``p2`` cost ``O(n * |x|)``).
+  Charging only the captured free variables rather than the whole ambient
+  environment is the one place where we refine the letter of Definition 3.1
+  ("including the environments"): charging the full environment at every rule
+  would bill unrelated bindings once per AST node and the paper's own derived
+  operations would not meet their stated costs;
+
+* for the ``map`` rule the ``W`` equation is unchanged but::
+
+      T = 1 + max_i T(F, C_i)
+
+  reflecting that the ``n`` applications of ``F`` run in parallel;
+
+* for the ``while`` rule the final output is *not* re-counted at every
+  iteration (otherwise a result surviving ``n`` iterations would be charged
+  ``n`` times)::
+
+      T(while(P,F), C) = 1 + T(P,C) + T(F,C) + T(while(P,F), C')
+      W(while(P,F), C) = size(C) + size(C') + W(P,C) + W(F,C) + W(while(P,F), C')
+
+Errors and undefinedness (division by zero, ``zip`` of unequal lengths,
+``split`` with a bad count vector, the error term Omega, ...) are modelled as
+the :class:`NSCEvalError` exception — the paper treats these outcomes as "the
+result of P might be undefined".
+
+The evaluator also interprets the two extensions carried by the AST:
+``let`` blocks (Section 4's block structure) and named recursive definitions
+(:class:`repro.nsc.ast.RecFun`), which are the input of the map-recursion
+translation of Theorem 4.2.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+from . import ast as A
+from .values import (
+    FALSE,
+    TRUE,
+    UNIT_VALUE,
+    Value,
+    VInl,
+    VInr,
+    VNat,
+    VPair,
+    VSeq,
+    VUnit,
+    bool_value,
+)
+
+# Deep while-loops and divide-and-conquer programs produce deep Python call
+# stacks (the AST depth times the recursion depth); make room for them.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+
+class NSCEvalError(RuntimeError):
+    """Raised when an NSC evaluation is undefined (error term, zip mismatch, ...)."""
+
+
+class Env:
+    """Persistent evaluation environment with a cached total size.
+
+    The work complexity of Definition 3.1 counts the size of the environment
+    mentioned by each rule, so the size of the whole environment must be
+    available in O(1).
+    """
+
+    __slots__ = ("_name", "_value", "_parent", "size", "_depth")
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        value: Optional[Value] = None,
+        parent: Optional["Env"] = None,
+    ) -> None:
+        self._name = name
+        self._value = value
+        self._parent = parent
+        parent_size = parent.size if parent is not None else 0
+        self.size = parent_size + (value.size if value is not None else 0)
+        self._depth = (parent._depth + 1) if parent is not None else 0
+
+    @staticmethod
+    def empty() -> "Env":
+        return _EMPTY_ENV
+
+    def extend(self, name: str, value: Value) -> "Env":
+        """Return a new environment with ``name`` bound to ``value``."""
+        return Env(name, value, self)
+
+    def lookup(self, name: str) -> Value:
+        env: Optional[Env] = self
+        while env is not None:
+            if env._name == name:
+                assert env._value is not None
+                return env._value
+            env = env._parent
+        raise NSCEvalError(f"unbound variable {name!r} at run time")
+
+    def names(self) -> list[str]:
+        out = []
+        env: Optional[Env] = self
+        while env is not None:
+            if env._name is not None:
+                out.append(env._name)
+            env = env._parent
+        return out
+
+
+_EMPTY_ENV = Env()
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Result of an evaluation: the value plus its time and work complexity."""
+
+    value: Value
+    time: int
+    work: int
+
+
+@dataclass(frozen=True)
+class _RecBinding:
+    """A named recursive definition together with its defining environment."""
+
+    defn: A.RecFun
+    env: Env
+
+
+RecEnv = dict[str, _RecBinding]
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def evaluate(term: A.Term, env: Optional[dict[str, Value]] = None) -> Outcome:
+    """Evaluate a term under bindings ``env`` and report its value, T and W."""
+    e = _EMPTY_ENV
+    for name, value in (env or {}).items():
+        e = e.extend(name, value)
+    value, t, w = _eval_term(term, e, {})
+    return Outcome(value, t, w)
+
+
+def apply_function(fn: A.Function, arg: Value, env: Optional[dict[str, Value]] = None) -> Outcome:
+    """Apply an NSC function to an S-object and report the value, T and W."""
+    e = _EMPTY_ENV
+    for name, value in (env or {}).items():
+        e = e.extend(name, value)
+    value, t, w = _apply(fn, arg, e, {})
+    return Outcome(value, t, w)
+
+
+def run(fn: A.Function, arg: Value) -> Value:
+    """Apply ``fn`` and return only the value (convenience wrapper)."""
+    return apply_function(fn, arg).value
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _arith(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        # monus: truncated subtraction (Section 2)
+        return a - b if a >= b else 0
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0:
+            raise NSCEvalError("division by zero")
+        return a // b
+    if op == "mod":
+        if b == 0:
+            raise NSCEvalError("modulo by zero")
+        return a % b
+    if op == ">>":
+        return a >> b
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    raise NSCEvalError(f"unknown arithmetic operation {op!r}")
+
+
+def _unary(op: str, a: int) -> int:
+    if op == "log2":
+        return a.bit_length() - 1 if a > 0 else 0
+    if op == "sqrt":
+        import math
+
+        return math.isqrt(a)
+    raise NSCEvalError(f"unknown unary operation {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Term evaluation
+# ---------------------------------------------------------------------------
+
+
+def _eval_term(term: A.Term, env: Env, rec: RecEnv) -> tuple[Value, int, int]:
+    # Axioms (no premises): SIZE = size(result).
+    if isinstance(term, A.Var):
+        v = env.lookup(term.name)
+        return v, 1, v.size
+
+    if isinstance(term, A.Const):
+        v = VNat(term.value)
+        return v, 1, v.size
+
+    if isinstance(term, A.UnitTerm):
+        return UNIT_VALUE, 1, 1
+
+    if isinstance(term, A.ErrorTerm):
+        raise NSCEvalError("evaluation of the error term Omega")
+
+    if isinstance(term, A.EmptySeq):
+        v = VSeq(())
+        return v, 1, v.size
+
+    if isinstance(term, A.BinOp):
+        lv, lt, lw = _eval_term(term.left, env, rec)
+        rv, rt, rw = _eval_term(term.right, env, rec)
+        if not isinstance(lv, VNat) or not isinstance(rv, VNat):
+            raise NSCEvalError(f"arithmetic {term.op} on non-naturals")
+        v = VNat(_arith(term.op, lv.value, rv.value))
+        size = lv.size + rv.size + v.size
+        return v, 1 + lt + rt, size + lw + rw
+
+    if isinstance(term, A.UnOp):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        if not isinstance(av, VNat):
+            raise NSCEvalError(f"unary {term.op} on a non-natural")
+        v = VNat(_unary(term.op, av.value))
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Eq):
+        lv, lt, lw = _eval_term(term.left, env, rec)
+        rv, rt, rw = _eval_term(term.right, env, rec)
+        v = bool_value(lv == rv)
+        size = lv.size + rv.size + v.size
+        return v, 1 + lt + rt, size + lw + rw
+
+    if isinstance(term, A.PairTerm):
+        fv, ft, fw = _eval_term(term.fst, env, rec)
+        sv, st, sw = _eval_term(term.snd, env, rec)
+        v = VPair(fv, sv)
+        size = fv.size + sv.size + v.size
+        return v, 1 + ft + st, size + fw + sw
+
+    if isinstance(term, A.Proj):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        if not isinstance(av, VPair):
+            raise NSCEvalError("projection applied to a non-pair")
+        v = av.fst if term.index == 1 else av.snd
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Inl):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        v = VInl(av)
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Inr):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        v = VInr(av)
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Case):
+        sv, st, sw = _eval_term(term.scrutinee, env, rec)
+        if isinstance(sv, VInl):
+            branch_env = env.extend(term.left_var, sv.value)
+            bv, bt, bw = _eval_term(term.left_body, branch_env, rec)
+        elif isinstance(sv, VInr):
+            branch_env = env.extend(term.right_var, sv.value)
+            bv, bt, bw = _eval_term(term.right_body, branch_env, rec)
+        else:
+            raise NSCEvalError("case scrutinee is not an injection")
+        size = sv.size + bv.size
+        return bv, 1 + st + bt, size + sw + bw
+
+    if isinstance(term, A.Apply):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        fv, ft, fw = _apply(term.fn, av, env, rec)
+        size = av.size + fv.size
+        return fv, 1 + at + ft, size + aw + fw
+
+    if isinstance(term, A.Singleton):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        v = VSeq((av,))
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Append):
+        lv, lt, lw = _eval_term(term.left, env, rec)
+        rv, rt, rw = _eval_term(term.right, env, rec)
+        if not isinstance(lv, VSeq) or not isinstance(rv, VSeq):
+            raise NSCEvalError("append of non-sequences")
+        v = VSeq(lv.items + rv.items)
+        size = lv.size + rv.size + v.size
+        return v, 1 + lt + rt, size + lw + rw
+
+    if isinstance(term, A.Flatten):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        if not isinstance(av, VSeq):
+            raise NSCEvalError("flatten of a non-sequence")
+        items: list[Value] = []
+        for inner in av.items:
+            if not isinstance(inner, VSeq):
+                raise NSCEvalError("flatten of a sequence whose elements are not sequences")
+            items.extend(inner.items)
+        v = VSeq(items)
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Length):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        if not isinstance(av, VSeq):
+            raise NSCEvalError("length of a non-sequence")
+        v = VNat(len(av))
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Get):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        if not isinstance(av, VSeq):
+            raise NSCEvalError("get of a non-sequence")
+        if len(av) != 1:
+            # get([x]) = x; get([]) = get([x0, x1, ...]) = Omega
+            raise NSCEvalError(f"get applied to a sequence of length {len(av)}")
+        v = av[0]
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Zip):
+        lv, lt, lw = _eval_term(term.left, env, rec)
+        rv, rt, rw = _eval_term(term.right, env, rec)
+        if not isinstance(lv, VSeq) or not isinstance(rv, VSeq):
+            raise NSCEvalError("zip of non-sequences")
+        if len(lv) != len(rv):
+            raise NSCEvalError(f"zip of sequences with different lengths {len(lv)} and {len(rv)}")
+        v = VSeq(VPair(a, b) for a, b in zip(lv.items, rv.items))
+        size = lv.size + rv.size + v.size
+        return v, 1 + lt + rt, size + lw + rw
+
+    if isinstance(term, A.Enumerate):
+        av, at, aw = _eval_term(term.arg, env, rec)
+        if not isinstance(av, VSeq):
+            raise NSCEvalError("enumerate of a non-sequence")
+        v = VSeq(VNat(i) for i in range(len(av)))
+        return v, 1 + at, av.size + v.size + aw
+
+    if isinstance(term, A.Split):
+        dv, dt, dw = _eval_term(term.data, env, rec)
+        cv, ct, cw = _eval_term(term.counts, env, rec)
+        if not isinstance(dv, VSeq) or not isinstance(cv, VSeq):
+            raise NSCEvalError("split of non-sequences")
+        counts = []
+        for c in cv.items:
+            if not isinstance(c, VNat):
+                raise NSCEvalError("split counts must be naturals")
+            counts.append(c.value)
+        if sum(counts) != len(dv):
+            raise NSCEvalError(
+                f"split counts sum to {sum(counts)} but the sequence has length {len(dv)}"
+            )
+        groups: list[VSeq] = []
+        pos = 0
+        for c in counts:
+            groups.append(VSeq(dv.items[pos : pos + c]))
+            pos += c
+        v = VSeq(groups)
+        size = dv.size + cv.size + v.size
+        return v, 1 + dt + ct, size + dw + cw
+
+    if isinstance(term, A.Let):
+        bv, bt, bw = _eval_term(term.bound, env, rec)
+        inner = env.extend(term.var, bv)
+        rv, rt, rw = _eval_term(term.body, inner, rec)
+        size = bv.size + rv.size
+        return rv, 1 + bt + rt, size + bw + rw
+
+    if isinstance(term, A.RecCall):
+        if term.name not in rec:
+            raise NSCEvalError(f"call to unknown recursive function {term.name!r}")
+        av, at, aw = _eval_term(term.arg, env, rec)
+        binding = rec[term.name]
+        fv, ft, fw = _apply(binding.defn, av, binding.env, rec)
+        size = av.size + fv.size
+        return fv, 1 + at + ft, size + aw + fw
+
+    raise NSCEvalError(f"unknown term node {type(term).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Function application (the ternary relation  F(C) \Downarrow C')
+# ---------------------------------------------------------------------------
+
+# Free-variable sets are memoised per function node: they are needed on every
+# application to charge the size of the captured closure.
+_FREE_VARS_CACHE: dict[int, frozenset[str]] = {}
+
+
+def _closure_size(fn: A.Function, env: Env) -> int:
+    """Total size of the values captured by ``fn`` from ``env`` (its closure).
+
+    This is what an implementation has to materialise when applying ``fn`` —
+    and, under ``map``, broadcast to every element — so it is part of the
+    SIZE charged by the application rules.
+    """
+    key = id(fn)
+    names = _FREE_VARS_CACHE.get(key)
+    if names is None:
+        names = A.free_vars(fn)
+        _FREE_VARS_CACHE[key] = names
+    total = 0
+    for name in names:
+        try:
+            total += env.lookup(name).size
+        except NSCEvalError:
+            # a free variable of a nested recursive definition may be bound
+            # only at its own application site
+            continue
+    return total
+
+
+def _apply(fn: A.Function, arg: Value, env: Env, rec: RecEnv) -> tuple[Value, int, int]:
+    if isinstance(fn, A.Lambda):
+        inner = env.extend(fn.var, arg)
+        bv, bt, bw = _eval_term(fn.body, inner, rec)
+        size = _closure_size(fn, env) + arg.size + bv.size
+        return bv, 1 + bt, size + bw
+
+    if isinstance(fn, A.MapF):
+        if not isinstance(arg, VSeq):
+            raise NSCEvalError("map applied to a non-sequence")
+        results: list[Value] = []
+        max_t = 0
+        total_w = 0
+        for item in arg.items:
+            v, t, w = _apply(fn.fn, item, env, rec)
+            results.append(v)
+            if t > max_t:
+                max_t = t
+            total_w += w
+        out = VSeq(results)
+        # T = 1 + max_i T(F, C_i); W = SIZE + sum_i W(F, C_i)
+        size = arg.size + out.size
+        return out, 1 + max_t, size + total_w
+
+    if isinstance(fn, A.WhileF):
+        # Iterative unfolding of the two while rules of Definition 3.1.
+        current = arg
+        total_t = 0
+        total_w = 0
+        while True:
+            pv, pt, pw = _apply(fn.pred, current, env, rec)
+            if pv == FALSE:
+                # while(P, F)(C) \Downarrow C  when P(C) \Downarrow false
+                total_t += 1 + pt
+                total_w += current.size + pw
+                return current, total_t, total_w
+            if pv != TRUE:
+                raise NSCEvalError("while predicate did not return a boolean")
+            bv, bt, bw = _apply(fn.body, current, env, rec)
+            # W(while(P,F),C) = size(C) + size(C') + W(P,C) + W(F,C) + W(while, C')
+            total_t += 1 + pt + bt
+            total_w += current.size + bv.size + pw + bw
+            current = bv
+
+    if isinstance(fn, A.RecFun):
+        rec2 = dict(rec)
+        rec2[fn.name] = _RecBinding(fn, env)
+        inner = env.extend(fn.var, arg)
+        bv, bt, bw = _eval_term(fn.body, inner, rec2)
+        size = _closure_size(fn, env) + arg.size + bv.size
+        return bv, 1 + bt, size + bw
+
+    raise NSCEvalError(f"unknown function node {type(fn).__name__}")

@@ -1,0 +1,402 @@
+"""Derived NSC functions (Section 3, "From this small set of primitives...").
+
+All of these are *definable* in core NSC — they are built here exactly as the
+paper sketches, from the primitives, so that their time and work complexity is
+whatever Definition 3.1 assigns to the derived form:
+
+* database projections  ``Pi_i = map(pi_i)``;
+* the conditional ``if x then M else N`` (via ``case``);
+* broadcasting ``p2(x, ys) = [(x, y0), ..., (x, yn-1)]``;
+* bounded monotone routing ``bm_route`` (Pi1 . flatten . map(p2) . zip . split);
+* the selections ``sigma1`` / ``sigma2`` on sequences of sums;
+* ``filter(P)``;
+* positional access ``first``, ``tail``, ``last``, ``remove_last``, ``nth`` —
+  all with constant parallel time and O(n) work, as the paper promises;
+* ``is_empty``, ``pairwise`` and a logarithmic-time ``reduce_add``
+  (``while``-based summation, used by the permutation experiments).
+
+Because NSC is monomorphic, each combinator is a Python function taking the
+relevant element :class:`~repro.nsc.types.Type` s and returning a fresh
+:class:`~repro.nsc.ast.Lambda`.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from . import builder as B
+from .types import BOOL, NAT, ProdType, SeqType, SumType, Type, prod, seq
+
+
+# ---------------------------------------------------------------------------
+# Projections and broadcasting
+# ---------------------------------------------------------------------------
+
+
+def proj_map(index: int, left: Type, right: Type) -> A.Function:
+    """Database projection ``Pi_index : [left x right] -> [left or right]`` = map(pi_index)."""
+    x = B.gensym("p")
+    return B.map_(B.lam(x, prod(left, right), B.fst(B.v(x)) if index == 1 else B.snd(B.v(x))))
+
+
+def p2(s: Type, t: Type) -> A.Lambda:
+    """Broadcast ``p2 : s x [t] -> [s x t]``, ``p2(x, ys) = [(x,y) for y in ys]``.
+
+    Defined, as in the paper, by ``p2(x, y) = map(\\v.(x, v))(y)``.  The first
+    component is bound to its own variable before the ``map`` so that the
+    mapped function's closure (which the cost model charges per element — the
+    broadcast) contains only ``x`` and not the whole argument pair.
+    """
+    z = B.gensym("z")
+    xvar = B.gensym("x")
+    velt = B.gensym("v")
+    body = B.let(
+        xvar,
+        B.fst(B.v(z)),
+        B.app(
+            B.map_(B.lam(velt, t, B.pair(B.v(xvar), B.v(velt)))),
+            B.snd(B.v(z)),
+        ),
+    )
+    return B.lam(z, prod(s, seq(t)), body)
+
+
+# ---------------------------------------------------------------------------
+# Bounded monotone routing
+# ---------------------------------------------------------------------------
+
+
+def bm_route(s: Type, t: Type) -> A.Lambda:
+    """``bm_route : ([s] x [N]) x [t] -> [t]`` (Section 3).
+
+    ``bm_route((u, d), x)`` replicates each ``x_i`` exactly ``d_i`` times; the
+    *bound* ``u`` must have length ``sum(d)`` (it prevents building a long
+    sequence in constant parallel time).  Defined as::
+
+        Pi_1(flatten(map(p2)(zip(x, split(u, d)))))
+    """
+    arg = B.gensym("a")
+    u = B.fst(B.fst(B.v(arg)))  # [s]
+    d = B.snd(B.fst(B.v(arg)))  # [N]
+    x = B.snd(B.v(arg))  # [t]
+    zipped = B.zip_(x, B.split_(u, d))  # [t x [s]]
+    routed = B.flatten_(B.app(B.map_(p2(t, s)), zipped))  # [t x s]
+    projected = B.app(proj_map(1, t, s), routed)  # [t]
+    return B.lam(arg, prod(prod(seq(s), seq(NAT)), seq(t)), projected)
+
+
+def bm_route_nat(t: Type) -> A.Lambda:
+    """Convenience instance of :func:`bm_route` whose bound is a ``[N]`` sequence."""
+    return bm_route(NAT, t)
+
+
+# ---------------------------------------------------------------------------
+# Selections and filter
+# ---------------------------------------------------------------------------
+
+
+def sigma1(s: Type, t: Type) -> A.Lambda:
+    """``sigma_1 : [s + t] -> [s]`` keeps the payloads of the ``inl`` elements."""
+    x = B.gensym("x")
+    u = B.gensym("u")
+    u1 = B.gensym("u1")
+    u2 = B.gensym("u2")
+    body = B.flatten_(
+        B.app(
+            B.map_(
+                B.lam(
+                    u,
+                    SumType(s, t),
+                    B.case_(B.v(u), u1, B.single(B.v(u1)), u2, B.empty(s)),
+                )
+            ),
+            B.v(x),
+        )
+    )
+    return B.lam(x, seq(SumType(s, t)), body)
+
+
+def sigma2(s: Type, t: Type) -> A.Lambda:
+    """``sigma_2 : [s + t] -> [t]`` keeps the payloads of the ``inr`` elements."""
+    x = B.gensym("x")
+    u = B.gensym("u")
+    u1 = B.gensym("u1")
+    u2 = B.gensym("u2")
+    body = B.flatten_(
+        B.app(
+            B.map_(
+                B.lam(
+                    u,
+                    SumType(s, t),
+                    B.case_(B.v(u), u1, B.empty(t), u2, B.single(B.v(u2))),
+                )
+            ),
+            B.v(x),
+        )
+    )
+    return B.lam(x, seq(SumType(s, t)), body)
+
+
+def filter_fn(pred: A.Function, t: Type) -> A.Lambda:
+    """``filter(P) : [t] -> [t]`` = flatten(map(\\u. if P(u) then [u] else []))."""
+    x = B.gensym("x")
+    u = B.gensym("u")
+    body = B.flatten_(
+        B.app(
+            B.map_(B.lam(u, t, B.if_(B.app(pred, B.v(u)), B.single(B.v(u)), B.empty(t)))),
+            B.v(x),
+        )
+    )
+    return B.lam(x, seq(t), body)
+
+
+# ---------------------------------------------------------------------------
+# Positional access: first, tail, last, remove_last, nth
+# ---------------------------------------------------------------------------
+
+
+def _select_by_index(t: Type, keep: A.Function) -> A.Lambda:
+    """Keep the elements of a sequence whose position satisfies ``keep : N x N -> B``.
+
+    ``keep`` receives the pair (position, length).  Constant parallel time and
+    O(n) work: implemented with a single map over ``zip(x, enumerate(x))``.
+    """
+    x = B.gensym("x")
+    p = B.gensym("p")
+    body = B.let(
+        "_n",
+        B.length_(B.v(x)),
+        B.flatten_(
+            B.app(
+                B.map_(
+                    B.lam(
+                        p,
+                        prod(t, NAT),
+                        B.if_(
+                            B.app(keep, B.pair(B.snd(B.v(p)), B.v("_n"))),
+                            B.single(B.fst(B.v(p))),
+                            B.empty(t),
+                        ),
+                    )
+                ),
+                B.zip_(B.v(x), B.enumerate_(B.v(x))),
+            )
+        ),
+    )
+    return B.lam(x, seq(t), body)
+
+
+def first(t: Type) -> A.Lambda:
+    """``first : [t] -> t`` — the first element (error on the empty sequence).
+
+    Constant parallel time, O(n) work (Section 3's "operations on lists").
+    """
+    x = B.gensym("x")
+    q = B.gensym("q")
+    keep = B.lam(q, prod(NAT, NAT), B.eq(B.fst(B.v(q)), 0))
+    return B.lam(x, seq(t), B.get_(B.app(_select_by_index(t, keep), B.v(x))))
+
+
+def last(t: Type) -> A.Lambda:
+    """``last : [t] -> t`` — the last element (error on the empty sequence)."""
+    x = B.gensym("x")
+    q = B.gensym("q")
+    keep = B.lam(q, prod(NAT, NAT), B.eq(B.add(B.fst(B.v(q)), 1), B.snd(B.v(q))))
+    return B.lam(x, seq(t), B.get_(B.app(_select_by_index(t, keep), B.v(x))))
+
+
+def tail(t: Type) -> A.Lambda:
+    """``tail : [t] -> [t]`` — everything but the first element."""
+    q = B.gensym("q")
+    keep = B.lam(q, prod(NAT, NAT), B.not_(B.eq(B.fst(B.v(q)), 0)))
+    return _select_by_index(t, keep)
+
+
+def remove_last(t: Type) -> A.Lambda:
+    """``remove_last : [t] -> [t]`` — everything but the last element."""
+    q = B.gensym("q")
+    keep = B.lam(q, prod(NAT, NAT), B.not_(B.eq(B.add(B.fst(B.v(q)), 1), B.snd(B.v(q)))))
+    return _select_by_index(t, keep)
+
+
+def nth(t: Type) -> A.Lambda:
+    """``nth : [t] x N -> t`` — positional access in O(1) time and O(n) work."""
+    a = B.gensym("a")
+    p = B.gensym("p")
+    x = B.fst(B.v(a))
+    i = B.snd(B.v(a))
+    body = B.get_(
+        B.flatten_(
+            B.app(
+                B.map_(
+                    B.lam(
+                        p,
+                        prod(t, NAT),
+                        B.if_(B.eq(B.snd(B.v(p)), i), B.single(B.fst(B.v(p))), B.empty(t)),
+                    )
+                ),
+                B.zip_(x, B.enumerate_(x)),
+            )
+        )
+    )
+    return B.lam(a, prod(seq(t), NAT), body)
+
+
+# ---------------------------------------------------------------------------
+# Miscellaneous derived forms
+# ---------------------------------------------------------------------------
+
+
+def is_empty(t: Type) -> A.Lambda:
+    """``is_empty : [t] -> B``."""
+    x = B.gensym("x")
+    return B.lam(x, seq(t), B.eq(B.length_(B.v(x)), 0))
+
+
+def pairwise(t: Type) -> A.Lambda:
+    """``pairwise : [t] -> [[t]]`` — group a sequence into adjacent pairs.
+
+    Odd-length sequences leave a final singleton group.  Constant time,
+    O(n) work; a building block of the logarithmic reduction below.
+    """
+    x = B.gensym("x")
+    i = B.gensym("i")
+    nvar = B.gensym("n")
+    # counts = [2, 2, ..., 2(, 1)] built from enumerate(x) by keeping one count
+    # per even position.  The length is let-bound so the mapped lambda's
+    # closure (charged per element) is a single number, not the sequence.
+    counts = B.flatten_(
+        B.app(
+            B.map_(
+                B.lam(
+                    i,
+                    NAT,
+                    B.if_(
+                        B.eq(B.mod(B.v(i), 2), 0),
+                        B.single(B.nat_min(2, B.sub(B.v(nvar), B.v(i)))),
+                        B.empty(NAT),
+                    ),
+                )
+            ),
+            B.enumerate_(B.v(x)),
+        )
+    )
+    return B.lam(x, seq(t), B.let(nvar, B.length_(B.v(x)), B.split_(B.v(x), counts)))
+
+
+def reduce_add() -> A.Lambda:
+    """``reduce_add : [N] -> N`` — summation in O(log n) time and O(n) work.
+
+    Implemented with ``while``: repeatedly replace the sequence by the sums of
+    adjacent pairs until a single element remains; empty input sums to 0.
+    This is the paper's style of expressing logarithmic-depth reductions
+    without a scan primitive.
+    """
+    x = B.gensym("x")
+    g = B.gensym("g")
+    # predicate: length(x) > 1
+    pred = B.lam(x, seq(NAT), B.gt(B.length_(B.v(x)), 1))
+    # body: map over pairwise groups, summing each group (of size 1 or 2).
+    sum_group = B.lam(
+        g,
+        seq(NAT),
+        B.if_(
+            B.eq(B.length_(B.v(g)), 1),
+            B.get_(B.v(g)),
+            B.add(
+                B.app(first(NAT), B.v(g)),
+                B.app(last(NAT), B.v(g)),
+            ),
+        ),
+    )
+    body = B.lam(x, seq(NAT), B.app(B.map_(sum_group), B.app(pairwise(NAT), B.v(x))))
+    w = B.gensym("w")
+    return B.lam(
+        w,
+        seq(NAT),
+        B.if_(
+            B.eq(B.length_(B.v(w)), 0),
+            B.c(0),
+            B.get_(B.app(B.while_(pred, body), B.v(w))),
+        ),
+    )
+
+
+def iota() -> A.Lambda:
+    """``iota : N -> [N]`` — [0, 1, ..., n-1], built with a while loop.
+
+    Not constant-time (deliberately: the paper notes that a constant-time
+    "range" primitive would break the polynomial-size-increase property), the
+    loop doubles the sequence each iteration, so T = O(log n), W = O(n log n).
+    """
+    n = B.gensym("n")
+    st = B.gensym("s")
+    # State: (target, current) where current is a [N] prefix [0..k-1].
+    state_t = prod(NAT, seq(NAT))
+    pred = B.lam(st, state_t, B.lt(B.length_(B.snd(B.v(st))), B.fst(B.v(st))))
+    i = B.gensym("i")
+    # One step: current := take(target, current @ map(+k)(current)) where
+    # k = length(current); the take is done with a filter on positions.  The
+    # target and k are let-bound so the mapped lambdas capture only numbers.
+    kvar = B.gensym("k")
+    tvar = B.gensym("tgt")
+    dvar = B.gensym("dbl")
+    doubled = B.append(
+        B.snd(B.v(st)),
+        B.app(B.map_(B.lam(i, NAT, B.add(B.v(i), B.v(kvar)))), B.snd(B.v(st))),
+    )
+    p = B.gensym("p")
+    take = B.flatten_(
+        B.app(
+            B.map_(
+                B.lam(
+                    p,
+                    prod(NAT, NAT),
+                    B.if_(
+                        B.lt(B.snd(B.v(p)), B.v(tvar)),
+                        B.single(B.fst(B.v(p))),
+                        B.empty(NAT),
+                    ),
+                )
+            ),
+            B.zip_(B.v(dvar), B.enumerate_(B.v(dvar))),
+        )
+    )
+    body = B.lam(
+        st,
+        state_t,
+        B.lets(
+            [
+                (kvar, B.length_(B.snd(B.v(st)))),
+                (tvar, B.fst(B.v(st))),
+                (dvar, doubled),
+            ],
+            B.pair(B.v(tvar), take),
+        ),
+    )
+    return B.lam(
+        n,
+        NAT,
+        B.if_(
+            B.eq(B.v(n), 0),
+            B.empty(NAT),
+            B.snd(B.app(B.while_(pred, body), B.pair(B.v(n), B.single(B.c(0))))),
+        ),
+    )
+
+
+def m_route(t: Type) -> A.Lambda:
+    """Unbounded monotone routing ``m_route : ([N] x [t]) -> [t]`` (Section 3).
+
+    ``m_route(d, x)`` replicates ``x_i`` exactly ``d_i`` times with *no* bound
+    sequence, so it cannot run in constant parallel time: the output length is
+    not polynomially bounded by a constant number of steps.  Implemented by
+    building the bound with a while loop (via the total count) and then using
+    ``bm_route``; T = O(log(sum d)), W = O(n + sum d * log(sum d)).
+    """
+    a = B.gensym("a")
+    d = B.fst(B.v(a))
+    x = B.snd(B.v(a))
+    total = B.app(reduce_add(), d)
+    bound = B.app(iota(), total)
+    body = B.app(bm_route(NAT, t), B.pair(B.pair(bound, d), x))
+    return B.lam(a, prod(seq(NAT), seq(t)), body)

@@ -1,0 +1,95 @@
+"""Pretty printer for NSC expressions.
+
+Produces a compact, ML-flavoured rendering close to the notation of the paper
+(Figures 1-3).  Used by the examples and by error messages; the output is for
+humans and is not meant to be re-parsed.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+
+_BINOP_SYMBOLS = {
+    "+": "+",
+    "-": "-.",  # monus
+    "*": "*",
+    "/": "/",
+    "mod": "mod",
+    ">>": ">>",
+    "min": "min",
+    "max": "max",
+}
+
+
+def pretty(e: A.Expr, indent: int = 0) -> str:
+    """Render an NSC term or function as a string."""
+    return _pp(e, indent)
+
+
+def _pad(indent: int) -> str:
+    return "  " * indent
+
+
+def _pp(e: A.Expr, ind: int) -> str:
+    if isinstance(e, A.Var):
+        return e.name
+    if isinstance(e, A.Const):
+        return str(e.value)
+    if isinstance(e, A.UnitTerm):
+        return "()"
+    if isinstance(e, A.ErrorTerm):
+        return f"Omega[{e.type}]"
+    if isinstance(e, A.BinOp):
+        return f"({_pp(e.left, ind)} {_BINOP_SYMBOLS[e.op]} {_pp(e.right, ind)})"
+    if isinstance(e, A.UnOp):
+        return f"{e.op}({_pp(e.arg, ind)})"
+    if isinstance(e, A.Eq):
+        return f"({_pp(e.left, ind)} = {_pp(e.right, ind)})"
+    if isinstance(e, A.PairTerm):
+        return f"({_pp(e.fst, ind)}, {_pp(e.snd, ind)})"
+    if isinstance(e, A.Proj):
+        return f"pi{e.index}({_pp(e.arg, ind)})"
+    if isinstance(e, A.Inl):
+        return f"inl({_pp(e.arg, ind)})"
+    if isinstance(e, A.Inr):
+        return f"inr({_pp(e.arg, ind)})"
+    if isinstance(e, A.Case):
+        return (
+            f"case {_pp(e.scrutinee, ind)} of inl({e.left_var}) => {_pp(e.left_body, ind)}"
+            f" | inr({e.right_var}) => {_pp(e.right_body, ind)}"
+        )
+    if isinstance(e, A.Apply):
+        return f"{_pp(e.fn, ind)}({_pp(e.arg, ind)})"
+    if isinstance(e, A.EmptySeq):
+        return "[]"
+    if isinstance(e, A.Singleton):
+        return f"[{_pp(e.arg, ind)}]"
+    if isinstance(e, A.Append):
+        return f"({_pp(e.left, ind)} @ {_pp(e.right, ind)})"
+    if isinstance(e, A.Flatten):
+        return f"flatten({_pp(e.arg, ind)})"
+    if isinstance(e, A.Length):
+        return f"length({_pp(e.arg, ind)})"
+    if isinstance(e, A.Get):
+        return f"get({_pp(e.arg, ind)})"
+    if isinstance(e, A.Zip):
+        return f"zip({_pp(e.left, ind)}, {_pp(e.right, ind)})"
+    if isinstance(e, A.Enumerate):
+        return f"enumerate({_pp(e.arg, ind)})"
+    if isinstance(e, A.Split):
+        return f"split({_pp(e.data, ind)}, {_pp(e.counts, ind)})"
+    if isinstance(e, A.Let):
+        return (
+            f"let {e.var} = {_pp(e.bound, ind)} in\n{_pad(ind + 1)}{_pp(e.body, ind + 1)}"
+        )
+    if isinstance(e, A.RecCall):
+        return f"{e.name}({_pp(e.arg, ind)})"
+    if isinstance(e, A.Lambda):
+        return f"(\\{e.var} : {e.var_type}. {_pp(e.body, ind)})"
+    if isinstance(e, A.MapF):
+        return f"map({_pp(e.fn, ind)})"
+    if isinstance(e, A.WhileF):
+        return f"while({_pp(e.pred, ind)}, {_pp(e.body, ind)})"
+    if isinstance(e, A.RecFun):
+        return f"fun {e.name}({e.var} : {e.var_type}) = {_pp(e.body, ind + 1)}"
+    return repr(e)

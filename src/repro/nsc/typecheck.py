@@ -1,0 +1,320 @@
+"""Type checking for NSC (Appendix A).
+
+The paper's typing judgements are ``Gamma |- M : t`` for terms and
+``Gamma |- F : s -> t`` for functions.  We implement type *inference*: given a
+type context (a mapping of variables to types) the checker reconstructs the
+type of a term or the ``s -> t`` classification of a function, raising
+:class:`NSCTypeError` on ill-typed programs.
+
+Injections ``inl`` / ``inr`` and empty sequences carry the type annotations
+needed for inference (the surface builder inserts them); when a missing
+annotation genuinely cannot be resolved, the checker fails with a clear
+message rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from . import ast as A
+from .types import (
+    BOOL,
+    NAT,
+    UNIT,
+    FunType,
+    NatType,
+    ProdType,
+    SeqType,
+    SumType,
+    Type,
+    UnitType,
+)
+
+
+class NSCTypeError(TypeError):
+    """Raised when an NSC expression does not type-check."""
+
+
+TypeContext = Mapping[str, Type]
+
+
+@dataclass(frozen=True)
+class _RecSig:
+    """Signature of the enclosing named recursive definition."""
+
+    name: str
+    dom: Type
+    cod: Type
+
+
+def _expect(t: Type, expected: Type, what: str) -> None:
+    if t != expected:
+        raise NSCTypeError(f"{what}: expected {expected}, got {t}")
+
+
+def _expect_seq(t: Type, what: str) -> SeqType:
+    if not isinstance(t, SeqType):
+        raise NSCTypeError(f"{what}: expected a sequence type, got {t}")
+    return t
+
+
+def _expect_nat(t: Type, what: str) -> None:
+    if not isinstance(t, NatType):
+        raise NSCTypeError(f"{what}: expected N, got {t}")
+
+
+def infer_term(
+    term: A.Term,
+    ctx: Optional[TypeContext] = None,
+    rec: Optional[_RecSig] = None,
+) -> Type:
+    """Infer the type of an NSC term under context ``ctx``."""
+    ctx = dict(ctx or {})
+    return _infer_term(term, ctx, rec)
+
+
+def infer_function(
+    fn: A.Function,
+    ctx: Optional[TypeContext] = None,
+    rec: Optional[_RecSig] = None,
+) -> FunType:
+    """Infer the ``s -> t`` classification of an NSC function under ``ctx``."""
+    ctx = dict(ctx or {})
+    return _infer_function(fn, ctx, rec)
+
+
+def _infer_term(term: A.Term, ctx: dict[str, Type], rec: Optional[_RecSig]) -> Type:
+    if isinstance(term, A.Var):
+        if term.name not in ctx:
+            raise NSCTypeError(f"unbound variable {term.name!r}")
+        return ctx[term.name]
+
+    if isinstance(term, A.ErrorTerm):
+        return term.type
+
+    if isinstance(term, A.Const):
+        if term.value < 0:
+            raise NSCTypeError("natural constants must be non-negative")
+        return NAT
+
+    if isinstance(term, A.UnitTerm):
+        return UNIT
+
+    if isinstance(term, A.BinOp):
+        _expect_nat(_infer_term(term.left, ctx, rec), f"left operand of {term.op}")
+        _expect_nat(_infer_term(term.right, ctx, rec), f"right operand of {term.op}")
+        return NAT
+
+    if isinstance(term, A.UnOp):
+        _expect_nat(_infer_term(term.arg, ctx, rec), f"operand of {term.op}")
+        return NAT
+
+    if isinstance(term, A.Eq):
+        lt = _infer_term(term.left, ctx, rec)
+        rt = _infer_term(term.right, ctx, rec)
+        if lt != rt:
+            raise NSCTypeError(f"equality between different types {lt} and {rt}")
+        return BOOL
+
+    if isinstance(term, A.PairTerm):
+        return ProdType(_infer_term(term.fst, ctx, rec), _infer_term(term.snd, ctx, rec))
+
+    if isinstance(term, A.Proj):
+        t = _infer_term(term.arg, ctx, rec)
+        if not isinstance(t, ProdType):
+            raise NSCTypeError(f"projection pi_{term.index} applied to non-product {t}")
+        return t.left if term.index == 1 else t.right
+
+    if isinstance(term, A.Inl):
+        left = _infer_term(term.arg, ctx, rec)
+        if term.right is None:
+            raise NSCTypeError("inl(...) without a right-type annotation cannot be inferred")
+        return SumType(left, term.right)
+
+    if isinstance(term, A.Inr):
+        right = _infer_term(term.arg, ctx, rec)
+        if term.left is None:
+            raise NSCTypeError("inr(...) without a left-type annotation cannot be inferred")
+        return SumType(term.left, right)
+
+    if isinstance(term, A.Case):
+        st = _infer_term(term.scrutinee, ctx, rec)
+        if not isinstance(st, SumType):
+            raise NSCTypeError(f"case scrutinee must have a sum type, got {st}")
+        lctx = dict(ctx)
+        lctx[term.left_var] = st.left
+        lt = _infer_term(term.left_body, lctx, rec)
+        rctx = dict(ctx)
+        rctx[term.right_var] = st.right
+        rt = _infer_term(term.right_body, rctx, rec)
+        if lt != rt:
+            raise NSCTypeError(f"case branches have different types {lt} and {rt}")
+        return lt
+
+    if isinstance(term, A.Apply):
+        ft = _infer_function(term.fn, ctx, rec)
+        at = _infer_term(term.arg, ctx, rec)
+        if at != ft.dom:
+            raise NSCTypeError(f"function expects {ft.dom} but argument has type {at}")
+        return ft.cod
+
+    if isinstance(term, A.EmptySeq):
+        return SeqType(term.elem)
+
+    if isinstance(term, A.Singleton):
+        return SeqType(_infer_term(term.arg, ctx, rec))
+
+    if isinstance(term, A.Append):
+        lt = _expect_seq(_infer_term(term.left, ctx, rec), "append left operand")
+        rt = _expect_seq(_infer_term(term.right, ctx, rec), "append right operand")
+        if lt != rt:
+            raise NSCTypeError(f"append of sequences with different types {lt} and {rt}")
+        return lt
+
+    if isinstance(term, A.Flatten):
+        t = _expect_seq(_infer_term(term.arg, ctx, rec), "flatten operand")
+        inner = _expect_seq(t.elem, "flatten operand element")
+        return inner
+
+    if isinstance(term, A.Length):
+        _expect_seq(_infer_term(term.arg, ctx, rec), "length operand")
+        return NAT
+
+    if isinstance(term, A.Get):
+        t = _expect_seq(_infer_term(term.arg, ctx, rec), "get operand")
+        return t.elem
+
+    if isinstance(term, A.Zip):
+        lt = _expect_seq(_infer_term(term.left, ctx, rec), "zip left operand")
+        rt = _expect_seq(_infer_term(term.right, ctx, rec), "zip right operand")
+        return SeqType(ProdType(lt.elem, rt.elem))
+
+    if isinstance(term, A.Enumerate):
+        _expect_seq(_infer_term(term.arg, ctx, rec), "enumerate operand")
+        return SeqType(NAT)
+
+    if isinstance(term, A.Split):
+        dt = _expect_seq(_infer_term(term.data, ctx, rec), "split data operand")
+        ct = _expect_seq(_infer_term(term.counts, ctx, rec), "split counts operand")
+        _expect(ct.elem, NAT, "split counts element type")
+        return SeqType(dt)
+
+    if isinstance(term, A.Let):
+        bt = _infer_term(term.bound, ctx, rec)
+        if term.var_type is not None and term.var_type != bt:
+            raise NSCTypeError(
+                f"let-binding of {term.var!r} annotated {term.var_type} but bound term has type {bt}"
+            )
+        inner = dict(ctx)
+        inner[term.var] = bt
+        return _infer_term(term.body, inner, rec)
+
+    if isinstance(term, A.RecCall):
+        if rec is None or rec.name != term.name:
+            raise NSCTypeError(f"recursive call to unknown function {term.name!r}")
+        at = _infer_term(term.arg, ctx, rec)
+        if at != rec.dom:
+            raise NSCTypeError(
+                f"recursive call to {term.name!r} expects {rec.dom} but argument has type {at}"
+            )
+        return rec.cod
+
+    raise NSCTypeError(f"unknown term node {type(term).__name__}")
+
+
+def _infer_function(fn: A.Function, ctx: dict[str, Type], rec: Optional[_RecSig]) -> FunType:
+    if isinstance(fn, A.Lambda):
+        inner = dict(ctx)
+        inner[fn.var] = fn.var_type
+        cod = _infer_term(fn.body, inner, rec)
+        return FunType(fn.var_type, cod)
+
+    if isinstance(fn, A.MapF):
+        ft = _infer_function(fn.fn, ctx, rec)
+        return FunType(SeqType(ft.dom), SeqType(ft.cod))
+
+    if isinstance(fn, A.WhileF):
+        pt = _infer_function(fn.pred, ctx, rec)
+        bt = _infer_function(fn.body, ctx, rec)
+        if pt.cod != BOOL:
+            raise NSCTypeError(f"while predicate must return B, got {pt.cod}")
+        if pt.dom != bt.dom or bt.dom != bt.cod:
+            raise NSCTypeError(
+                f"while requires P : t -> B and F : t -> t over the same t; got P : {pt}, F : {bt}"
+            )
+        return FunType(bt.dom, bt.cod)
+
+    if isinstance(fn, A.RecFun):
+        if fn.cod is None:
+            raise NSCTypeError(
+                f"recursive definition {fn.name!r} needs a codomain annotation to type-check"
+            )
+        sig = _RecSig(fn.name, fn.var_type, fn.cod)
+        inner = dict(ctx)
+        inner[fn.var] = fn.var_type
+        body_t = _infer_term(fn.body, inner, sig)
+        if body_t != fn.cod:
+            raise NSCTypeError(
+                f"recursive definition {fn.name!r} annotated to return {fn.cod} "
+                f"but body has type {body_t}"
+            )
+        return FunType(fn.var_type, fn.cod)
+
+    raise NSCTypeError(f"unknown function node {type(fn).__name__}")
+
+
+def annotate_lets(term: A.Term, ctx: Optional[TypeContext] = None) -> A.Term:
+    """Fill missing ``var_type`` annotations on :class:`repro.nsc.ast.Let` nodes.
+
+    This makes :func:`repro.nsc.ast.desugar` applicable to programs written
+    with bare ``let`` bindings.
+    """
+    ctx = dict(ctx or {})
+    return _annotate(term, ctx, None)  # type: ignore[return-value]
+
+
+def _annotate(e: A.Expr, ctx: dict[str, Type], rec: Optional[_RecSig]) -> A.Expr:
+    if isinstance(e, A.Let):
+        bound = _annotate(e.bound, ctx, rec)
+        bt = _infer_term(bound, ctx, rec)  # type: ignore[arg-type]
+        inner = dict(ctx)
+        inner[e.var] = bt
+        body = _annotate(e.body, inner, rec)
+        return A.Let(e.var, bound, body, bt)  # type: ignore[arg-type]
+    if isinstance(e, A.Lambda):
+        inner = dict(ctx)
+        inner[e.var] = e.var_type
+        return A.Lambda(e.var, e.var_type, _annotate(e.body, inner, rec))  # type: ignore[arg-type]
+    if isinstance(e, A.RecFun):
+        sig = None
+        if e.cod is not None:
+            sig = _RecSig(e.name, e.var_type, e.cod)
+        inner = dict(ctx)
+        inner[e.var] = e.var_type
+        return A.RecFun(e.name, e.var, e.var_type, _annotate(e.body, inner, sig), e.cod)  # type: ignore[arg-type]
+    if isinstance(e, A.Case):
+        st = _infer_term(_annotate(e.scrutinee, ctx, rec), ctx, rec)  # type: ignore[arg-type]
+        if not isinstance(st, SumType):
+            raise NSCTypeError(f"case scrutinee must have a sum type, got {st}")
+        lctx = dict(ctx)
+        lctx[e.left_var] = st.left
+        rctx = dict(ctx)
+        rctx[e.right_var] = st.right
+        return A.Case(
+            _annotate(e.scrutinee, ctx, rec),  # type: ignore[arg-type]
+            e.left_var,
+            _annotate(e.left_body, lctx, rec),  # type: ignore[arg-type]
+            e.right_var,
+            _annotate(e.right_body, rctx, rec),  # type: ignore[arg-type]
+        )
+    if isinstance(e, (A.Var, A.ErrorTerm, A.Const, A.UnitTerm, A.EmptySeq)):
+        return e
+    kwargs = {}
+    for name in e.__dataclass_fields__:  # type: ignore[attr-defined]
+        value = getattr(e, name)
+        if isinstance(value, A.Expr):
+            kwargs[name] = _annotate(value, ctx, rec)
+        else:
+            kwargs[name] = value
+    return type(e)(**kwargs)

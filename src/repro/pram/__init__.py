@@ -1,0 +1,5 @@
+"""CREW PRAM with scan primitives: Brent scheduling of NSC/BVRAM work (Proposition 3.2)."""
+
+from .brent import ScheduleResult, brent_bound, schedule_outcome, schedule_trace, speedup_curve
+
+__all__ = ["ScheduleResult", "brent_bound", "schedule_outcome", "schedule_trace", "speedup_curve"]

@@ -1,0 +1,29 @@
+"""The flat Sequence Algebra layer: segmented vectors and the Map Lemma (Section 7.1)."""
+
+from .flattening import (
+    CostCounter,
+    SegmentedVector,
+    WhileResult,
+    python_while_reference,
+    seq_bm_route,
+    seq_filter,
+    seq_lengths,
+    seq_map_scalar,
+    seq_while_simple,
+    seq_while_staged,
+    seq_while_unbounded,
+)
+
+__all__ = [
+    "CostCounter",
+    "SegmentedVector",
+    "WhileResult",
+    "python_while_reference",
+    "seq_bm_route",
+    "seq_filter",
+    "seq_lengths",
+    "seq_map_scalar",
+    "seq_while_simple",
+    "seq_while_staged",
+    "seq_while_unbounded",
+]

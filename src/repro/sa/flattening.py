@@ -1,0 +1,362 @@
+"""The flat Sequence Algebra, operationally: segmented vectors and the Map Lemma.
+
+Section 7 compiles NSC by (1) removing variables (NSA), (2) *flattening*
+nested sequences into flat vectors carrying segment descriptors (SA, the
+``SEQ(t)`` encoding) and (3) mapping the result onto the BVRAM.  This module
+implements the operational core of step (2): the segmented-vector
+representation and the constructions of the **Map Lemma** (Lemma 7.2), i.e.
+how ``map(f)`` over a nested sequence is simulated by flat, register-level
+operations with
+
+* time ``O(T)``,
+* work ``O(W^(1+eps))``, and
+* a number of vector registers independent of ``eps``.
+
+The easy cases of the lemma (``f`` a scalar map, a selection, a
+``bm_route``, ...) become single segmented instructions; the hard case is
+``f = while(p, g)``, where different elements need different numbers of
+iterations.  Two implementations are provided:
+
+``seq_while_unbounded``
+    Remark 7.3's scheme: every element that finishes is parked in its own
+    conceptual register, so nothing is ever re-touched — ``W' = O(W)`` but the
+    number of registers grows with the input (this is what an unbounded VRAM
+    would do, and why it needs a vector stack).
+
+``seq_while_simple``
+    A bounded 2-register scheme that appends finished elements to a single
+    accumulator every iteration — re-touching it each time, for a worst-case
+    ``O(t_max * W)`` overhead.  This is the naive baseline of experiment E6.
+
+``seq_while_staged``
+    The Lemma 7.2 construction: the iteration is divided into ``r = 1/eps``
+    stages; finished elements collect in a stage accumulator ``V1`` that is
+    touched at most ``n^eps`` times before being flushed into the final
+    accumulator ``V2`` (touched only ``r`` times).  Work overhead
+    ``O(n^eps * W)`` with **three** vector registers regardless of ``eps``.
+
+Costs follow the BVRAM rule: each vector operation costs one time step and
+work equal to the lengths of the registers it touches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class CostCounter:
+    """Accumulates the BVRAM-style time/work of segmented-vector operations."""
+
+    time: int = 0
+    work: int = 0
+    max_registers: int = 0
+
+    def charge(self, *lengths: int, registers: int = 0) -> None:
+        self.time += 1
+        self.work += int(sum(lengths))
+        if registers:
+            self.max_registers = max(self.max_registers, registers)
+
+
+@dataclass(frozen=True)
+class SegmentedVector:
+    """``SEQ([s])``: a nested sequence ``[[s]]`` as (segment descriptor, flat data).
+
+    ``segments[i]`` is the length of the i-th inner sequence; ``data`` is the
+    concatenation of all inner sequences.  This is the paper's segment
+    descriptor encoding (Section 7.1), borrowed from [Ble90].
+    """
+
+    segments: np.ndarray
+    data: np.ndarray
+
+    @staticmethod
+    def from_nested(nested: Sequence[Sequence[int]]) -> "SegmentedVector":
+        segments = np.array([len(part) for part in nested], dtype=np.int64)
+        data = (
+            np.concatenate([np.asarray(part, dtype=np.int64) for part in nested])
+            if nested and sum(len(p) for p in nested)
+            else np.zeros(0, dtype=np.int64)
+        )
+        return SegmentedVector(segments, data)
+
+    def to_nested(self) -> list[list[int]]:
+        out = []
+        pos = 0
+        for length in self.segments.tolist():
+            out.append([int(x) for x in self.data[pos : pos + length]])
+            pos += length
+        return out
+
+    @property
+    def total(self) -> int:
+        return int(self.data.size)
+
+    def __len__(self) -> int:
+        return int(self.segments.size)
+
+
+# ---------------------------------------------------------------------------
+# The easy cases of the Map Lemma
+# ---------------------------------------------------------------------------
+
+
+def seq_map_scalar(
+    sv: SegmentedVector, fn: Callable[[np.ndarray], np.ndarray], cost: CostCounter
+) -> SegmentedVector:
+    """``SEQ(map(phi))`` for a scalar function ``phi``: one flat elementwise pass."""
+    out = fn(sv.data)
+    cost.charge(sv.data.size, out.size, registers=2)
+    return SegmentedVector(sv.segments, np.asarray(out, dtype=np.int64))
+
+
+def seq_lengths(sv: SegmentedVector, cost: CostCounter) -> np.ndarray:
+    """``SEQ(length)``: the per-segment lengths (already the descriptor)."""
+    cost.charge(sv.segments.size, registers=1)
+    return sv.segments.copy()
+
+
+def seq_filter(
+    sv: SegmentedVector, keep: Callable[[np.ndarray], np.ndarray], cost: CostCounter
+) -> SegmentedVector:
+    """``SEQ(filter(P))``: a mask, a segmented count (scan) and a pack (select)."""
+    mask = keep(sv.data).astype(bool)
+    cost.charge(sv.data.size, mask.size, registers=2)
+    # per-segment surviving counts (the scan the paper allows on the PRAM side)
+    ids = np.repeat(np.arange(sv.segments.size), sv.segments)
+    new_segments = np.bincount(ids[mask], minlength=sv.segments.size).astype(np.int64)
+    cost.charge(sv.data.size, sv.segments.size, registers=3)
+    packed = sv.data[mask]
+    cost.charge(sv.data.size, packed.size, registers=2)
+    return SegmentedVector(new_segments, packed)
+
+
+def seq_bm_route(
+    sv: SegmentedVector, counts: np.ndarray, cost: CostCounter
+) -> SegmentedVector:
+    """``SEQ(bm_route)``: replicate segment ``i`` exactly ``counts[i]`` times.
+
+    Exactly the BVRAM ``sbm_route`` instruction (the paper notes that the
+    flattening of ``bm_route`` *is* ``sbm_route``).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size != sv.segments.size:
+        raise ValueError("counts must have one entry per segment")
+    out_parts = []
+    pos = 0
+    new_segments = []
+    for seg_len, count in zip(sv.segments.tolist(), counts.tolist()):
+        seg = sv.data[pos : pos + seg_len]
+        pos += seg_len
+        for _ in range(count):
+            out_parts.append(seg)
+            new_segments.append(seg_len)
+    data = np.concatenate(out_parts) if out_parts else np.zeros(0, dtype=np.int64)
+    cost.charge(sv.data.size, counts.size, data.size, registers=3)
+    return SegmentedVector(np.array(new_segments, dtype=np.int64), data)
+
+
+# ---------------------------------------------------------------------------
+# The hard case: SEQ(while(p, g))  (Lemma 7.2)
+# ---------------------------------------------------------------------------
+
+StepFn = Callable[[np.ndarray], np.ndarray]
+PredFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class WhileResult:
+    """Result of a flattened parallel while: values, order restored, and costs."""
+
+    values: np.ndarray
+    cost: CostCounter
+    iterations: int
+
+
+def _run_parallel_while(
+    values: np.ndarray,
+    pred: PredFn,
+    step: StepFn,
+    finished_sink: Callable[[np.ndarray, np.ndarray, CostCounter], None],
+    cost: CostCounter,
+    registers: int,
+    max_iter: int = 1_000_000,
+) -> int:
+    """Common driver: iterate ``step`` on the still-active elements.
+
+    ``finished_sink(indices, values, cost)`` is called with the elements whose
+    predicate became false this round; the different accumulation policies of
+    the three schemes live there.  Returns the number of iterations.
+    """
+    active_vals = values.copy()
+    active_idx = np.arange(values.size)
+    iterations = 0
+    # elements that are finished before the first step
+    flags = np.asarray(pred(active_vals), dtype=bool)
+    cost.charge(active_vals.size, registers=registers)
+    done = ~flags
+    if done.any():
+        finished_sink(active_idx[done], active_vals[done], cost)
+    active_vals, active_idx = active_vals[flags], active_idx[flags]
+    while active_vals.size:
+        iterations += 1
+        if iterations > max_iter:
+            raise RuntimeError("parallel while exceeded the iteration bound")
+        active_vals = np.asarray(step(active_vals), dtype=np.int64)
+        cost.charge(active_vals.size, active_vals.size, registers=registers)
+        flags = np.asarray(pred(active_vals), dtype=bool)
+        cost.charge(active_vals.size, registers=registers)
+        done = ~flags
+        if done.any():
+            # packing the finished elements out of the active register
+            cost.charge(active_vals.size, int(done.sum()), registers=registers)
+            finished_sink(active_idx[done], active_vals[done], cost)
+        active_vals, active_idx = active_vals[flags], active_idx[flags]
+    return iterations
+
+
+def _result_sizes(values: np.ndarray, result_sizes: Optional[Sequence[int]]) -> np.ndarray:
+    """Per-element size of the value an element carries once it has finished.
+
+    The interesting instances of the Map Lemma's while case are exactly the
+    ones where finished elements carry data that then sits in the accumulator
+    registers (e.g. the leaves of a divide phase); ``result_sizes`` lets the
+    experiments model that weight.  Defaults to unit sizes.
+    """
+    if result_sizes is None:
+        return np.ones(values.size, dtype=np.int64)
+    sizes = np.asarray(result_sizes, dtype=np.int64)
+    if sizes.size != values.size:
+        raise ValueError("result_sizes must have one entry per element")
+    return sizes
+
+
+def seq_while_unbounded(
+    values: Sequence[int],
+    pred: PredFn,
+    step: StepFn,
+    result_sizes: Optional[Sequence[int]] = None,
+) -> WhileResult:
+    """Remark 7.3: unbounded registers — nothing is re-touched, W' = O(W).
+
+    Each batch of finishers is parked in its own register; the register count
+    grows with the number of distinct finishing times (this is the scheme that
+    needs a VRAM-style unbounded register file / vector stack).
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    sizes = _result_sizes(vals, result_sizes)
+    cost = CostCounter()
+    out = np.zeros(vals.size, dtype=np.int64)
+    parked_registers = [0]
+
+    def sink(idx: np.ndarray, finished: np.ndarray, c: CostCounter) -> None:
+        parked_registers[0] += 1
+        c.charge(int(sizes[idx].sum()), registers=2 + parked_registers[0])
+        out[idx] = finished
+
+    iters = _run_parallel_while(vals, pred, step, sink, cost, registers=2)
+    cost.max_registers = max(cost.max_registers, 2 + parked_registers[0])
+    return WhileResult(out, cost, iters)
+
+
+def seq_while_simple(
+    values: Sequence[int],
+    pred: PredFn,
+    step: StepFn,
+    result_sizes: Optional[Sequence[int]] = None,
+) -> WhileResult:
+    """Naive bounded scheme: one accumulator, re-touched on every append.
+
+    Work overhead grows with the spread of finishing times (up to a factor of
+    the number of iterations) — the baseline the Map Lemma improves on.
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    sizes = _result_sizes(vals, result_sizes)
+    cost = CostCounter()
+    out = np.zeros(vals.size, dtype=np.int64)
+    accumulated = [0]
+
+    def sink(idx: np.ndarray, finished: np.ndarray, c: CostCounter) -> None:
+        # appending to the accumulator touches everything already in it
+        batch = int(sizes[idx].sum())
+        c.charge(accumulated[0], batch, registers=3)
+        accumulated[0] += batch
+        out[idx] = finished
+
+    iters = _run_parallel_while(vals, pred, step, sink, cost, registers=3)
+    return WhileResult(out, cost, iters)
+
+
+def seq_while_staged(
+    values: Sequence[int],
+    pred: PredFn,
+    step: StepFn,
+    eps: float,
+    result_sizes: Optional[Sequence[int]] = None,
+) -> WhileResult:
+    """Lemma 7.2's staged scheme: 3 registers, work overhead O(n^eps * W).
+
+    The iteration space is cut into ``r = ceil(1/eps)`` stages.  During a
+    stage, finishers are appended to the stage accumulator ``V1`` (touching
+    only V1's current contents); at the end of each stage V1 is flushed into
+    the final accumulator ``V2``, which is therefore touched only ``r`` times.
+    A finisher is re-touched at most ``n^eps`` times in V1 (once per batch of
+    its stage) and ``r`` times in V2, giving the claimed bound while using a
+    number of registers that does not depend on ``eps``.
+    """
+    if not 0 < eps <= 1:
+        raise ValueError("eps must lie in (0, 1]")
+    vals = np.asarray(values, dtype=np.int64)
+    sizes = _result_sizes(vals, result_sizes)
+    n = max(1, vals.size)
+    r = max(1, math.ceil(1.0 / eps))
+    stage_batches = max(1, math.ceil(n**eps))
+    cost = CostCounter()
+    out = np.zeros(vals.size, dtype=np.int64)
+    v1_size = [0]
+    v2_size = [0]
+    batches_in_stage = [0]
+
+    def flush(c: CostCounter) -> None:
+        if v1_size[0]:
+            c.charge(v1_size[0], v2_size[0], registers=3)
+            v2_size[0] += v1_size[0]
+            v1_size[0] = 0
+        batches_in_stage[0] = 0
+
+    def sink(idx: np.ndarray, finished: np.ndarray, c: CostCounter) -> None:
+        # append the batch to the stage accumulator V1
+        batch = int(sizes[idx].sum())
+        c.charge(v1_size[0], batch, registers=3)
+        v1_size[0] += batch
+        out[idx] = finished
+        batches_in_stage[0] += 1
+        if batches_in_stage[0] >= stage_batches:
+            flush(c)
+
+    iters = _run_parallel_while(vals, pred, step, sink, cost, registers=3)
+    flush(cost)
+    return WhileResult(out, cost, iters)
+
+
+def python_while_reference(values: Sequence[int], pred, step) -> tuple[list[int], int]:
+    """Scalar reference: run the while loop element by element (oracle).
+
+    Returns the final values and the *intrinsic* work — the total number of
+    element-steps, i.e. the work the unflattened ``map(while(p, g))`` performs.
+    """
+    out = []
+    intrinsic = 0
+    for v in values:
+        x = int(v)
+        intrinsic += 1
+        while bool(pred(np.array([x]))[0]):
+            x = int(step(np.array([x]))[0])
+            intrinsic += 1
+        out.append(x)
+    return out, intrinsic

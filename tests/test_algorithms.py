@@ -1,0 +1,216 @@
+"""Tests for the Section 5 programs (Figures 1-3) and the permutation routines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import mergesort as M
+from repro.algorithms import oracles as O
+from repro.algorithms.permute import (
+    oracle_scatter,
+    run_permute_map,
+    run_permute_sort,
+)
+from repro.nsc import apply_function, from_python, to_python
+from repro.nsc.types import NAT, seq
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: index / indexsplit
+# ---------------------------------------------------------------------------
+
+
+def test_index_examples():
+    assert M.run_index([10, 20, 30, 40, 50, 60], [0, 2, 5]) == [10, 30, 60]
+    assert M.run_index([7, 8, 9], []) == []
+    assert M.run_index([7, 8, 9], [1]) == [8]
+    assert M.run_index([7, 8, 9], [0, 1, 2]) == [7, 8, 9]
+
+
+def test_index_with_repeated_positions():
+    assert M.run_index([5, 6, 7], [1, 1, 2]) == [6, 6, 7]
+
+
+def test_index_constant_time_linear_work():
+    f = M.index_fn(NAT)
+    small = apply_function(f, from_python(([1, 2, 3, 4], [1, 3])))
+    large = apply_function(f, from_python((list(range(128)), [0, 50, 100])))
+    assert small.time == large.time
+    assert large.work > small.work
+
+
+def test_indexsplit():
+    f = M.indexsplit_fn(NAT)
+    out = apply_function(f, from_python(([1, 2, 3, 4, 5], [2, 4])))
+    assert to_python(out.value) == [[1, 2], [3, 4], [5]]
+    out = apply_function(f, from_python(([1, 2, 3], [])))
+    assert to_python(out.value) == [[1, 2, 3]]
+    out = apply_function(f, from_python(([1, 2, 3], [0, 3])))
+    assert to_python(out.value) == [[], [1, 2, 3], []]
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: ranking and square-root splitting
+# ---------------------------------------------------------------------------
+
+
+def test_rank_one_and_direct_rank():
+    assert to_python(apply_function(M.rank_one_fn(), from_python((5, [1, 3, 5, 7]))).value) == 3
+    assert to_python(apply_function(M.rank_one_fn(), from_python((0, [1, 3]))).value) == 0
+    out = apply_function(M.direct_rank_fn(), from_python(([2, 6], [1, 3, 5, 7])))
+    assert to_python(out.value) == O.direct_rank([2, 6], [1, 3, 5, 7]) == [1, 3]
+
+
+def test_sqrt_positions_and_split():
+    xs = list(range(9))
+    pos = to_python(apply_function(M.sqrt_positions_fn(NAT), from_python(xs)).value)
+    assert pos == [0, 3, 6]
+    blocks = to_python(apply_function(M.sqrt_split_fn(NAT), from_python(xs)).value)
+    # leading empty block, then blocks of width floor(sqrt(9)) = 3
+    assert blocks == [[], [0, 1, 2], [3, 4, 5], [6, 7, 8]]
+    assert [x for b in blocks for x in b] == xs
+
+
+def test_sqrt_split_non_square_length():
+    xs = list(range(11))
+    blocks = to_python(apply_function(M.sqrt_split_fn(NAT), from_python(xs)).value)
+    assert [x for b in blocks for x in b] == xs
+    assert blocks[0] == []
+
+
+def test_direct_merge():
+    out = apply_function(M.direct_merge_fn(), from_python(([4, 9], [1, 5, 6, 10])))
+    assert to_python(out.value) == [1, 4, 5, 6, 9, 10]
+    out = apply_function(M.direct_merge_fn(), from_python(([], [1, 2])))
+    assert to_python(out.value) == [1, 2]
+    out = apply_function(M.direct_merge_fn(), from_python(([3], [])))
+    assert to_python(out.value) == [3]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: merge and mergesort
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "a,b",
+    [
+        ([], []),
+        ([1], []),
+        ([], [2]),
+        ([1, 3, 5], [2, 4, 6]),
+        ([1, 2, 3], [4, 5, 6]),
+        ([4, 5, 6], [1, 2, 3]),
+        (list(range(0, 20, 2)), list(range(1, 20, 2))),
+        ([1, 1, 2, 2], [1, 2, 2, 3]),
+    ],
+)
+def test_merge_matches_oracle(a, b):
+    out = M.run_merge(a, b)
+    assert to_python(out.value) == sorted(a + b)
+
+
+def test_merge_time_sublogarithmic():
+    """Valiant's merge: parallel time O(log log m), so it grows very slowly."""
+    random.seed(3)
+    times = []
+    for n in (16, 64, 256):
+        a = sorted(random.sample(range(10000), n))
+        b = sorted(random.sample(range(10000), n))
+        times.append(M.run_merge(a, b).time)
+    # doubling log log n barely moves: allow at most ~2.5x growth over 16x data
+    assert times[-1] <= 2.5 * times[0]
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 16, 33])
+def test_mergesort_sorts(n):
+    random.seed(n)
+    xs = [random.randrange(1000) for _ in range(n)]
+    out = M.run_mergesort(xs)
+    assert to_python(out.value) == sorted(xs)
+
+
+def test_mergesort_with_duplicates_and_sorted_input():
+    assert to_python(M.run_mergesort([5] * 10).value) == [5] * 10
+    assert to_python(M.run_mergesort(list(range(16))).value) == list(range(16))
+    assert to_python(M.run_mergesort(list(range(16, 0, -1))).value) == list(range(1, 17))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500), max_size=24))
+@settings(max_examples=25, deadline=None)
+def test_mergesort_property(xs):
+    assert to_python(M.run_mergesort(xs).value) == sorted(xs)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), max_size=12),
+    st.lists(st.integers(min_value=0, max_value=100), max_size=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_merge_property(a, b):
+    a, b = sorted(a), sorted(b)
+    assert to_python(M.run_merge(a, b).value) == sorted(a + b)
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+
+def test_oracle_helpers():
+    assert O.merge([1, 3], [2, 4]) == [1, 2, 3, 4]
+    assert O.indexsplit([1, 2, 3, 4], [2]) == [[1, 2], [3, 4]]
+    assert O.bm_route([1, 2, 3], [2, 0, 1]) == [1, 1, 3]
+    assert O.sbm_route([1, 2, 3, 4, 5], [2, 3], [2, 1]) == [1, 2, 1, 2, 3, 4, 5]
+    assert O.pack_nonzero([0, 5, 0, 7]) == [5, 7]
+    assert O.rank_one(5, [1, 5, 9]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Permutations (E7 workloads)
+# ---------------------------------------------------------------------------
+
+
+def test_permute_map_correct():
+    values = [10, 20, 30, 40]
+    targets = [2, 0, 3, 1]
+    out = run_permute_map(values, targets)
+    assert to_python(out.value) == oracle_scatter(values, targets)
+
+
+def test_permute_sort_correct():
+    values = [10, 20, 30, 40, 50]
+    targets = [4, 2, 0, 1, 3]
+    out = run_permute_sort(values, targets)
+    assert to_python(out.value) == oracle_scatter(values, targets)
+
+
+def test_permute_tradeoff_shapes():
+    """map-permute: O(1) time / O(n^2) work; sort-permute: higher time, lower work growth."""
+    random.seed(1)
+    sizes = (8, 16, 32)
+    map_time, map_work, sort_work = [], [], []
+    for n in sizes:
+        targets = list(range(n))
+        random.shuffle(targets)
+        values = [random.randrange(100) for _ in range(n)]
+        om = run_permute_map(values, targets)
+        os_ = run_permute_sort(values, targets)
+        map_time.append(om.time)
+        map_work.append(om.work)
+        sort_work.append(os_.work)
+    assert map_time[0] == map_time[-1]  # constant parallel time
+    # map work grows ~quadratically (x16 over a 4x size increase)
+    assert map_work[-1] / map_work[0] > 8
+    # sort-based work grows much slower than quadratically
+    assert sort_work[-1] / sort_work[0] < map_work[-1] / map_work[0]
+
+
+@given(st.permutations(list(range(8))))
+@settings(max_examples=20, deadline=None)
+def test_permute_map_property(perm):
+    values = list(range(100, 108))
+    out = run_permute_map(values, list(perm))
+    assert to_python(out.value) == oracle_scatter(values, list(perm))

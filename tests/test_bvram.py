@@ -1,0 +1,208 @@
+"""Tests for the BVRAM ISA and machine (Section 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import oracles as O
+from repro.bvram import BVRAM, BVRAMError, run_program
+from repro.bvram import isa
+from repro.bvram.machine import bm_route_vec, sbm_route_vec
+from repro.bvram.programs import (
+    broadcast_program,
+    cartesian_product_program,
+    filter_leq_program,
+    pairwise_sum_program,
+    saxpy_program,
+)
+
+
+# ---------------------------------------------------------------------------
+# Instruction semantics
+# ---------------------------------------------------------------------------
+
+
+def _single_instr_run(instr, inputs, n_registers=8):
+    p = isa.Program(n_registers=n_registers, n_inputs=len(inputs), n_outputs=1)
+    p.emit(instr)
+    p.emit(isa.Halt())
+    return run_program(p, inputs)
+
+
+def test_move_and_arith():
+    r = _single_instr_run(isa.Move(dst=2, src=0), [[1, 2, 3]])
+    assert r.registers[2].tolist() == [1, 2, 3]
+    r = _single_instr_run(isa.Arith(dst=2, op="+", a=0, b=1), [[1, 2], [10, 20]])
+    assert r.registers[2].tolist() == [11, 22]
+    r = _single_instr_run(isa.Arith(dst=2, op="-", a=0, b=1), [[5, 1], [2, 9]])
+    assert r.registers[2].tolist() == [3, 0]  # monus
+
+
+def test_arith_length_mismatch_is_error():
+    with pytest.raises(BVRAMError):
+        _single_instr_run(isa.Arith(dst=2, op="+", a=0, b=1), [[1, 2], [1]])
+
+
+def test_sequence_instructions():
+    r = _single_instr_run(isa.AppendI(dst=2, a=0, b=1), [[1, 2], [3]])
+    assert r.registers[2].tolist() == [1, 2, 3]
+    r = _single_instr_run(isa.LengthI(dst=2, src=0), [[7, 8, 9]])
+    assert r.registers[2].tolist() == [3]
+    r = _single_instr_run(isa.EnumerateI(dst=2, src=0), [[7, 8, 9]])
+    assert r.registers[2].tolist() == [0, 1, 2]
+    r = _single_instr_run(isa.Select(dst=2, src=0), [[3, 0, 1, 0, 0, 4]])
+    assert r.registers[2].tolist() == [3, 1, 4]  # the paper's example
+    r = _single_instr_run(isa.LoadConst(dst=2, value=9), [[1]])
+    assert r.registers[2].tolist() == [9]
+    r = _single_instr_run(isa.LoadEmpty(dst=2), [[1]])
+    assert r.registers[2].tolist() == []
+
+
+def test_bm_route_instruction_matches_paper_example():
+    # data [a,b,c] with counts [2,0,3] and bound of length 5 -> [a,a,c,c,c]
+    assert bm_route_vec(
+        np.array([10, 20, 30]), np.array([2, 0, 3]), np.zeros(5, dtype=np.int64)
+    ).tolist() == [10, 10, 30, 30, 30]
+
+
+def test_sbm_route_instruction_matches_paper_example():
+    # segments of [a0,a1,b0,b1,b2,c0,c1,c2] with descriptor [2,3,3], counts [2,0,3]
+    data = np.array([1, 2, 11, 12, 13, 21, 22, 23])
+    out = sbm_route_vec(
+        bound=np.zeros(5, dtype=np.int64),
+        counts=np.array([2, 0, 3]),
+        data=data,
+        segments=np.array([2, 3, 3]),
+    )
+    assert out.tolist() == [1, 2, 1, 2, 21, 22, 23, 21, 22, 23, 21, 22, 23]
+
+
+def test_bm_route_bad_bound_is_error():
+    with pytest.raises(BVRAMError):
+        bm_route_vec(np.array([1, 2]), np.array([1, 1]), np.zeros(5, dtype=np.int64))
+
+
+def test_registers_hold_naturals_only():
+    m = BVRAM(2)
+    with pytest.raises(BVRAMError):
+        m.load(0, [-1, 2])
+
+
+def test_program_validation():
+    p = isa.Program(n_registers=2, n_inputs=1, n_outputs=1)
+    p.emit(isa.Move(dst=5, src=0))
+    p.emit(isa.Halt())
+    with pytest.raises(ValueError):
+        p.validate()
+    p2 = isa.Program(n_registers=2, n_inputs=1, n_outputs=1)
+    p2.emit(isa.Goto(label="nowhere"))
+    with pytest.raises(ValueError):
+        p2.validate()
+
+
+def test_duplicate_label_rejected():
+    p = isa.Program()
+    p.label("x")
+    with pytest.raises(ValueError):
+        p.label("x")
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+
+def test_time_counts_instructions_and_work_counts_lengths():
+    r = run_program(saxpy_program(), [[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+    assert r.time == 3  # two ariths + halt
+    # work: mul reads 3+3 writes 3, add reads 3+3 writes 3, halt 0
+    assert r.work == 18
+    assert [e.opcode for e in r.trace] == ["arith:*", "arith:+", "halt"]
+
+
+def test_work_scales_with_vector_length():
+    small = run_program(saxpy_program(), [[1] * 4, [1] * 4, [1] * 4])
+    large = run_program(saxpy_program(), [[1] * 64, [1] * 64, [1] * 64])
+    assert large.time == small.time
+    assert large.work == small.work * 16
+
+
+# ---------------------------------------------------------------------------
+# Whole programs
+# ---------------------------------------------------------------------------
+
+
+def test_broadcast_program():
+    r = run_program(broadcast_program(), [[0] * 7, [13]])
+    assert r.output(0) == [13] * 7
+
+
+def test_filter_program_matches_oracle():
+    xs = [3, 15, 0, 10, 99, 7, 10]
+    r = run_program(filter_leq_program(10), [xs])
+    assert r.output(0) == [x for x in xs if x <= 10]
+
+
+def test_pairwise_sum_program():
+    for xs in ([], [5], [1, 2, 3], list(range(30))):
+        r = run_program(pairwise_sum_program(), [xs])
+        assert r.output(0) == [sum(xs)]
+
+
+def test_pairwise_sum_logarithmic_time():
+    t_small = run_program(pairwise_sum_program(), [list(range(8))]).time
+    t_large = run_program(pairwise_sum_program(), [list(range(128))]).time
+    # 3 doublings vs 7: time grows ~2.3x, far from the 16x data growth
+    assert t_large <= 3 * t_small
+
+
+def test_cartesian_product_program():
+    r = run_program(cartesian_product_program(), [[1, 2, 3], [7, 8]])
+    pairs = list(zip(r.output(1), r.output(0)))
+    assert sorted(pairs) == sorted((a, b) for a in [1, 2, 3] for b in [7, 8])
+
+
+def test_nonterminating_program_hits_step_bound():
+    p = isa.Program(n_registers=1, n_inputs=1, n_outputs=1)
+    p.label("loop")
+    p.emit(isa.Goto(label="loop"))
+    machine = BVRAM(1)
+    with pytest.raises(BVRAMError):
+        machine.run(p, [[1]], max_steps=100)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), max_size=20),
+    st.lists(st.integers(min_value=0, max_value=3), max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_bm_route_vec_matches_oracle(data, counts):
+    n = min(len(data), len(counts))
+    data, counts = data[:n], counts[:n]
+    expected = O.bm_route(data, counts)
+    out = bm_route_vec(
+        np.asarray(data, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+        np.zeros(sum(counts), dtype=np.int64),
+    )
+    assert out.tolist() == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_select_matches_oracle(xs):
+    r = _single_instr_run(isa.Select(dst=1, src=0), [xs], n_registers=2)
+    assert r.registers[1].tolist() == O.pack_nonzero(xs)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_pairwise_sum_property(xs):
+    r = run_program(pairwise_sum_program(), [xs])
+    assert r.output(0) == [sum(xs)]

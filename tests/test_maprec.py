@@ -1,0 +1,220 @@
+"""Tests for map-recursion (Definition 4.1) and the Theorem 4.2 translation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mergesort import merge_recfun, mergesort_recfun
+from repro.algorithms.quicksort import quicksort_def
+from repro.algorithms.schemata import (
+    ALL_SCHEMATA,
+    balanced_sum,
+    halving_tail,
+    skewed_sum,
+    two_or_three_way_sum,
+)
+from repro.maprec import (
+    balanced_level_sizes,
+    is_map_recursive,
+    naive_accumulation_cost,
+    recursion_calls,
+    skewed_level_sizes,
+    staged_accumulation_cost,
+    translate,
+)
+from repro.maprec.staging import level_sizes_from_recursion
+from repro.nsc import apply_function, from_python, to_python
+from repro.nsc import builder as B
+from repro.nsc.ast import uses_recursion
+from repro.nsc.typecheck import infer_function
+from repro.nsc.types import NAT, seq
+
+
+# ---------------------------------------------------------------------------
+# The schema and the syntactic check
+# ---------------------------------------------------------------------------
+
+
+def test_all_schemata_type_check():
+    for name, mk in ALL_SCHEMATA.items():
+        mk().check_types()
+
+
+def test_all_schemata_are_map_recursive():
+    for name, mk in ALL_SCHEMATA.items():
+        assert is_map_recursive(mk().to_recfun()), name
+    assert is_map_recursive(quicksort_def().to_recfun())
+
+
+def test_figure1_programs_are_map_recursive():
+    assert is_map_recursive(merge_recfun())
+    assert is_map_recursive(mergesort_recfun())
+
+
+def test_non_map_recursive_detected():
+    # f(x) = if x <= 1 then x else f(f(x / 2)) — a nested recursive call,
+    # Ackermann-style, which Definition 4.1 excludes.
+    body = B.if_(
+        B.le(B.v("x"), 1),
+        B.v("x"),
+        B.reccall("f", B.reccall("f", B.div(B.v("x"), 2))),
+    )
+    f = B.recfun("f", "x", NAT, body, NAT)
+    assert not is_map_recursive(f)
+    assert recursion_calls(f) == 2
+
+
+def test_direct_call_not_under_map_detected():
+    body = B.if_(B.le(B.v("x"), 1), B.v("x"), B.reccall("f", B.div(B.v("x"), 2)))
+    f = B.recfun("f", "x", NAT, body, NAT)
+    assert not is_map_recursive(f)
+
+
+def test_recfun_typechecks_with_annotation():
+    d = balanced_sum()
+    rf = d.to_recfun()
+    assert infer_function(rf).cod == NAT
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.2: equivalence of the translation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("make", [balanced_sum, skewed_sum, two_or_three_way_sum])
+@pytest.mark.parametrize("xs", [[], [3], [5, 1], [2, 9, 4, 7], list(range(11))])
+def test_sum_schemata_translation_equivalent(make, xs):
+    d = make()
+    direct = apply_function(d.to_recfun(), from_python(list(xs)))
+    translated = apply_function(translate(d), from_python(list(xs)))
+    assert to_python(direct.value) == to_python(translated.value) == sum(xs)
+    assert not uses_recursion(translate(d))
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 7, 64, 100])
+def test_tail_recursion_translation_equivalent(n):
+    d = halving_tail()
+    direct = apply_function(d.to_recfun(), from_python(n))
+    translated = apply_function(translate(d), from_python(n))
+    assert to_python(direct.value) == to_python(translated.value)
+
+
+@pytest.mark.parametrize("xs", [[], [1], [3, 1, 2], [5, 5, 5], [9, 1, 8, 2, 7, 3, 0]])
+def test_quicksort_translation_equivalent(xs):
+    d = quicksort_def()
+    direct = apply_function(d.to_recfun(), from_python(list(xs)))
+    translated = apply_function(translate(d), from_python(list(xs)))
+    assert to_python(direct.value) == sorted(xs)
+    assert to_python(translated.value) == sorted(xs)
+
+
+def test_translation_preserves_time_up_to_constant():
+    d = balanced_sum()
+    rf, tr = d.to_recfun(), translate(d)
+    ratios = []
+    for n in (8, 16, 32, 64):
+        xs = list(range(n))
+        direct = apply_function(rf, from_python(xs))
+        translated = apply_function(tr, from_python(xs))
+        ratios.append(translated.time / direct.time)
+    # T' = O(T): the ratio must not grow with n
+    assert ratios[-1] <= ratios[0] * 1.5
+    assert max(ratios) < 6
+
+
+def test_translation_work_bounded_for_balanced_tree():
+    d = balanced_sum()
+    rf, tr = d.to_recfun(), translate(d)
+    ratios = []
+    for n in (8, 16, 32, 64):
+        xs = list(range(n))
+        ratios.append(
+            apply_function(tr, from_python(xs)).work / apply_function(rf, from_python(xs)).work
+        )
+    # W' = O(W) for balanced divide-and-conquer trees
+    assert ratios[-1] <= ratios[0] * 1.5
+    assert max(ratios) < 8
+
+
+def test_translated_function_is_well_typed():
+    for make in (balanced_sum, skewed_sum, quicksort_def):
+        d = make()
+        assert infer_function(translate(d)).dom == d.dom
+        assert infer_function(translate(d)).cod == d.cod
+
+
+# ---------------------------------------------------------------------------
+# The staged z_i buffers (accumulation cost model)
+# ---------------------------------------------------------------------------
+
+
+def test_naive_cost_quadratic_on_skewed_trees():
+    sizes = skewed_level_sizes(64)
+    cost = naive_accumulation_cost(sizes)
+    assert cost.overhead > 10 * cost.intrinsic  # ~v/2 overhead factor
+
+
+def test_naive_cost_linear_on_balanced_trees():
+    sizes = balanced_level_sizes(1024)
+    cost = naive_accumulation_cost(sizes)
+    assert cost.overhead <= 2 * cost.intrinsic
+
+
+def test_staged_cost_beats_naive_on_skewed_trees():
+    sizes = skewed_level_sizes(256)
+    naive = naive_accumulation_cost(sizes)
+    for eps in (0.5, 0.25):
+        staged = staged_accumulation_cost(sizes, eps)
+        assert staged.total < naive.total
+        assert staged.intrinsic == naive.intrinsic
+
+
+def test_staged_cost_overhead_shrinks_with_eps_exponent():
+    sizes = skewed_level_sizes(512)
+    o_1 = staged_accumulation_cost(sizes, 1.0).overhead_factor
+    o_half = staged_accumulation_cost(sizes, 0.5).overhead_factor
+    assert o_half < o_1
+
+
+def test_staged_cost_rejects_bad_eps():
+    with pytest.raises(ValueError):
+        staged_accumulation_cost([1, 2, 3], 0.0)
+    with pytest.raises(ValueError):
+        staged_accumulation_cost([1, 2, 3], 2.0)
+
+
+def test_level_sizes_from_recursion_matches_quicksort_shape():
+    # sorted input -> degenerate tree: as many levels as elements
+    xs = list(range(12))
+    sizes = level_sizes_from_recursion(
+        xs,
+        pred=lambda s: len(s) <= 1,
+        divide=lambda s: [[z for z in s[1:] if z < s[0]], [z for z in s[1:] if z >= s[0]]],
+        size_of=len,
+    )
+    assert len(sizes) >= len(xs) - 1
+    # random-ish input -> logarithmic depth
+    import random
+
+    rng = random.Random(0)
+    ys = list(range(32))
+    rng.shuffle(ys)
+    sizes2 = level_sizes_from_recursion(
+        ys,
+        pred=lambda s: len(s) <= 1,
+        divide=lambda s: [[z for z in s[1:] if z < s[0]], [z for z in s[1:] if z >= s[0]]],
+        size_of=len,
+    )
+    assert len(sizes2) < len(sizes)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_accumulation_costs_properties(sizes):
+    naive = naive_accumulation_cost(sizes)
+    staged = staged_accumulation_cost(sizes, 0.5)
+    assert naive.intrinsic == staged.intrinsic == sum(sizes)
+    assert naive.total >= naive.intrinsic
+    assert staged.total >= staged.intrinsic
+    # staging never loses by more than the extra flush passes
+    assert staged.total <= naive.total + 3 * sum(sizes) * (len(sizes) ** 0.5 + 2)

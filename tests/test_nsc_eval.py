@@ -1,0 +1,220 @@
+"""Tests for the NSC big-step evaluator and the Definition 3.1 cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nsc import NSCEvalError, apply_function, evaluate, from_python, to_python
+from repro.nsc import builder as B
+from repro.nsc import lib
+from repro.nsc.types import BOOL, NAT, prod, seq
+from repro.nsc.typecheck import NSCTypeError, infer_function, infer_term
+
+
+# ---------------------------------------------------------------------------
+# Primitive semantics
+# ---------------------------------------------------------------------------
+
+
+def test_arithmetic_and_monus():
+    assert to_python(evaluate(B.add(2, 3)).value) == 5
+    assert to_python(evaluate(B.sub(2, 5)).value) == 0  # monus
+    assert to_python(evaluate(B.sub(5, 2)).value) == 3
+    assert to_python(evaluate(B.mul(4, 6)).value) == 24
+    assert to_python(evaluate(B.div(7, 2)).value) == 3
+    assert to_python(evaluate(B.mod(7, 3)).value) == 1
+    assert to_python(evaluate(B.rshift(8, 2)).value) == 2
+    assert to_python(evaluate(B.log2(32)).value) == 5
+    assert to_python(evaluate(B.isqrt(17)).value) == 4
+
+
+def test_division_by_zero_is_undefined():
+    with pytest.raises(NSCEvalError):
+        evaluate(B.div(1, 0))
+
+
+def test_error_term_raises():
+    with pytest.raises(NSCEvalError):
+        evaluate(B.error(NAT))
+
+
+def test_booleans_and_comparisons():
+    assert to_python(evaluate(B.eq(3, 3)).value) is True
+    assert to_python(evaluate(B.eq(3, 4)).value) is False
+    assert to_python(evaluate(B.le(2, 3)).value) is True
+    assert to_python(evaluate(B.lt(3, 3)).value) is False
+    assert to_python(evaluate(B.ge(3, 3)).value) is True
+    assert to_python(evaluate(B.gt(4, 3)).value) is True
+    assert to_python(evaluate(B.and_(B.true(), B.false())).value) is False
+    assert to_python(evaluate(B.or_(B.false(), B.true())).value) is True
+    assert to_python(evaluate(B.not_(B.true())).value) is False
+
+
+def test_pairs_projections_case():
+    t = B.pair(1, B.pair(2, 3))
+    assert to_python(evaluate(B.fst(t)).value) == 1
+    assert to_python(evaluate(B.snd(B.snd(t))).value) == 3
+    c = B.case_(B.inl(5, NAT), "x", B.add(B.v("x"), 1), "y", 0)
+    assert to_python(evaluate(c).value) == 6
+    c2 = B.case_(B.inr(5, NAT), "x", 0, "y", B.mul(B.v("y"), 2))
+    assert to_python(evaluate(c2).value) == 10
+
+
+def test_sequence_primitives():
+    xs = B.nat_seq([1, 2, 3])
+    assert to_python(evaluate(B.length_(xs)).value) == 3
+    assert to_python(evaluate(B.append(B.nat_seq([1]), B.nat_seq([2, 3]))).value) == [1, 2, 3]
+    assert to_python(evaluate(B.enumerate_(xs)).value) == [0, 1, 2]
+    assert to_python(evaluate(B.get_(B.single(9))).value) == 9
+    assert to_python(evaluate(B.zip_(B.nat_seq([1, 2]), B.nat_seq([3, 4]))).value) == [
+        (1, 3),
+        (2, 4),
+    ]
+    nested = B.split_(B.nat_seq([1, 2, 3, 4, 5, 6]), B.nat_seq([3, 0, 1, 0, 2]))
+    assert to_python(evaluate(nested).value) == [[1, 2, 3], [], [4], [], [5, 6]]
+    assert to_python(evaluate(B.flatten_(nested)).value) == [1, 2, 3, 4, 5, 6]
+
+
+def test_get_on_non_singleton_is_error():
+    with pytest.raises(NSCEvalError):
+        evaluate(B.get_(B.nat_seq([1, 2])))
+    with pytest.raises(NSCEvalError):
+        evaluate(B.get_(B.empty(NAT)))
+
+
+def test_zip_length_mismatch_and_split_mismatch_are_errors():
+    with pytest.raises(NSCEvalError):
+        evaluate(B.zip_(B.nat_seq([1]), B.nat_seq([1, 2])))
+    with pytest.raises(NSCEvalError):
+        evaluate(B.split_(B.nat_seq([1, 2, 3]), B.nat_seq([1, 1])))
+
+
+def test_let_and_lambda_application():
+    prog = B.let("x", B.add(1, 2), B.mul(B.v("x"), B.v("x")))
+    assert to_python(evaluate(prog).value) == 9
+    f = B.lam("x", NAT, B.add(B.v("x"), 10))
+    assert to_python(apply_function(f, from_python(5)).value) == 15
+
+
+def test_unbound_variable_is_error():
+    with pytest.raises(NSCEvalError):
+        evaluate(B.v("nope"))
+
+
+# ---------------------------------------------------------------------------
+# map and while semantics + cost model
+# ---------------------------------------------------------------------------
+
+
+def test_map_applies_elementwise():
+    f = B.map_(B.lam("x", NAT, B.mul(B.v("x"), B.v("x"))))
+    out = apply_function(f, from_python([1, 2, 3, 4]))
+    assert to_python(out.value) == [1, 4, 9, 16]
+
+
+def test_map_time_is_max_not_sum():
+    """Definition 3.1: the map rule charges 1 + max of the branch times."""
+    body = B.lam("x", NAT, B.add(B.v("x"), 1))
+    f = B.map_(body)
+    small = apply_function(f, from_python([1, 2]))
+    large = apply_function(f, from_python(list(range(64))))
+    # parallel time does not grow with the sequence length ...
+    assert large.time == small.time
+    # ... but the work does
+    assert large.work > small.work
+
+
+def test_map_work_scales_linearly():
+    f = B.map_(B.lam("x", NAT, B.add(B.v("x"), 1)))
+    w16 = apply_function(f, from_python(list(range(16)))).work
+    w64 = apply_function(f, from_python(list(range(64)))).work
+    assert 3.0 <= w64 / w16 <= 5.0  # ~4x
+
+
+def test_while_counts_iterations_in_time():
+    # state: N; loop until the value exceeds 100 by doubling
+    pred = B.lam("x", NAT, B.lt(B.v("x"), 100))
+    body = B.lam("x", NAT, B.mul(B.v("x"), 2))
+    w = B.while_(pred, body)
+    out = apply_function(w, from_python(1))
+    assert to_python(out.value) == 128
+    out2 = apply_function(w, from_python(200))
+    assert to_python(out2.value) == 200
+    assert out.time > out2.time
+
+
+def test_while_output_not_recounted():
+    """The while rule does not charge the final result once per iteration."""
+    # State (counter, payload): the loop decrements the counter and never
+    # touches the large payload.
+    state_t = prod(NAT, seq(NAT))
+    pred = B.lam("s", state_t, B.gt(B.fst(B.v("s")), 0))
+    body = B.lam("s", state_t, B.pair(B.sub(B.fst(B.v("s")), 1), B.snd(B.v("s"))))
+    w = B.while_(pred, body)
+    payload = list(range(200))
+    iters = 10
+    out = apply_function(w, from_python((iters, payload)))
+    assert to_python(out.value) == (0, payload)
+    # The payload is carried (size * iterations, times a constant for the
+    # variable references inside P and F), but not multiplied by the size of
+    # the final output again: W stays linear in iters * |payload|.
+    assert out.work < 20 * iters * (len(payload) + 5)
+
+
+def test_closure_broadcast_cost():
+    """Applying a map whose body captures a big free variable charges the closure."""
+    big = from_python(list(range(256)))
+    small = from_python(list(range(4)))
+    body = B.lam("y", NAT, B.length_(B.v("xs")))
+    f = B.map_(body)
+    w_big = apply_function(f, from_python([1, 2, 3, 4]), {"xs": big}).work
+    w_small = apply_function(f, from_python([1, 2, 3, 4]), {"xs": small}).work
+    assert w_big > w_small + 4 * 200  # roughly 4 elements x 250 extra closure size
+
+
+def test_outcome_fields_are_positive():
+    o = evaluate(B.add(1, 1))
+    assert o.time >= 1 and o.work >= 1
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_map_matches_python(xs):
+    f = B.map_(B.lam("x", NAT, B.add(B.mul(B.v("x"), B.v("x")), 1)))
+    out = apply_function(f, from_python(list(xs)))
+    assert to_python(out.value) == [x * x + 1 for x in xs]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), max_size=10),
+    st.lists(st.integers(min_value=0, max_value=50), max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_append_flatten_agree_with_python(xs, ys):
+    out = evaluate(B.append(B.nat_seq(xs), B.nat_seq(ys)))
+    assert to_python(out.value) == list(xs) + list(ys)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_work_monotone_in_input_size(xs):
+    """Evaluating the same map on a longer input never costs less work."""
+    f = B.map_(B.lam("x", NAT, B.add(B.v("x"), 1)))
+    w_full = apply_function(f, from_python(list(xs))).work
+    w_prefix = apply_function(f, from_python(list(xs[:-1]))).work
+    assert w_full >= w_prefix
+
+
+@given(st.integers(min_value=1, max_value=200))
+@settings(max_examples=30, deadline=None)
+def test_while_halving_time_logarithmic(n):
+    pred = B.lam("x", NAT, B.gt(B.v("x"), 1))
+    body = B.lam("x", NAT, B.div(B.v("x"), 2))
+    out = apply_function(B.while_(pred, body), from_python(n))
+    assert to_python(out.value) == 1 if n > 1 else n
+    assert out.time <= 20 * (n.bit_length() + 2)

@@ -1,0 +1,227 @@
+"""Tests for the NSC type checker (Appendix A) and the derived library (Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nsc import apply_function, evaluate, from_python, to_python
+from repro.nsc import builder as B
+from repro.nsc import lib
+from repro.nsc.ast import desugar, free_vars, uses_let
+from repro.nsc.pretty import pretty
+from repro.nsc.typecheck import NSCTypeError, annotate_lets, infer_function, infer_term
+from repro.nsc.types import BOOL, NAT, FunType, prod, seq
+from repro.nsc.values import VInl, VInr, VNat, VSeq
+
+
+# ---------------------------------------------------------------------------
+# Type checker
+# ---------------------------------------------------------------------------
+
+
+def test_infer_basic_terms():
+    assert infer_term(B.c(3)) == NAT
+    assert infer_term(B.unit()) == infer_term(B.unit())
+    assert infer_term(B.eq(1, 2)) == BOOL
+    assert infer_term(B.pair(1, B.true())) == prod(NAT, BOOL)
+    assert infer_term(B.nat_seq([1, 2])) == seq(NAT)
+    assert infer_term(B.zip_(B.nat_seq([1]), B.nat_seq([2]))) == seq(prod(NAT, NAT))
+    assert infer_term(B.split_(B.nat_seq([1]), B.nat_seq([1]))) == seq(seq(NAT))
+
+
+def test_infer_functions():
+    f = B.lam("x", NAT, B.add(B.v("x"), 1))
+    assert infer_function(f) == FunType(NAT, NAT)
+    assert infer_function(B.map_(f)) == FunType(seq(NAT), seq(NAT))
+    w = B.while_(B.lam("x", NAT, B.lt(B.v("x"), 5)), f)
+    assert infer_function(w) == FunType(NAT, NAT)
+
+
+def test_ill_typed_programs_rejected():
+    with pytest.raises(NSCTypeError):
+        infer_term(B.add(B.true(), 1))
+    with pytest.raises(NSCTypeError):
+        infer_term(B.v("free"))
+    with pytest.raises(NSCTypeError):
+        infer_term(B.eq(1, B.true()))
+    with pytest.raises(NSCTypeError):
+        infer_term(B.fst(B.c(1)))
+    with pytest.raises(NSCTypeError):
+        infer_term(B.flatten_(B.nat_seq([1, 2])))
+    with pytest.raises(NSCTypeError):
+        infer_term(B.app(B.lam("x", NAT, B.v("x")), B.true()))
+    with pytest.raises(NSCTypeError):
+        # while predicate must return B
+        infer_function(B.while_(B.lam("x", NAT, B.v("x")), B.lam("x", NAT, B.v("x"))))
+    with pytest.raises(NSCTypeError):
+        # case branches must agree
+        infer_term(B.case_(B.true(), "u", B.c(1), "v", B.true()))
+
+
+def test_first_order_restriction_holds_structurally():
+    """Function classifications never nest inside object types."""
+    f = lib.bm_route(NAT, NAT)
+    ft = infer_function(f)
+    # the domain/codomain are plain Types (no FunType leaks inside)
+    assert not isinstance(ft.dom, FunType)
+    assert not isinstance(ft.cod, FunType)
+
+
+def test_annotate_and_desugar_lets():
+    prog = B.let("x", B.nat_seq([1, 2, 3]), B.length_(B.v("x")))
+    assert uses_let(prog)
+    annotated = annotate_lets(prog)
+    core = desugar(annotated)
+    assert not uses_let(core)
+    assert to_python(evaluate(core).value) == 3
+    assert infer_term(core) == NAT
+
+
+def test_free_vars():
+    t = B.add(B.v("a"), B.app(B.lam("b", NAT, B.add(B.v("b"), B.v("c"))), 1))
+    assert free_vars(t) == {"a", "c"}
+
+
+def test_pretty_printer_mentions_constructs():
+    f = lib.filter_fn(B.lam("z", NAT, B.le(B.v("z"), 3)), NAT)
+    s = pretty(f)
+    assert "flatten" in s and "map" in s and "case" in s
+
+
+# ---------------------------------------------------------------------------
+# Derived library functions (Section 3)
+# ---------------------------------------------------------------------------
+
+
+def test_p2_broadcast():
+    f = lib.p2(NAT, NAT)
+    out = apply_function(f, from_python((7, [1, 2, 3])))
+    assert to_python(out.value) == [(7, 1), (7, 2), (7, 3)]
+    assert infer_function(f) == FunType(prod(NAT, seq(NAT)), seq(prod(NAT, NAT)))
+
+
+def test_bm_route_matches_paper_example():
+    # bm_route(([u0,u1,u2,u3,u4], [3,0,2]), [a,b,c]) = [a,a,a,c,c]
+    f = lib.bm_route(NAT, NAT)
+    out = apply_function(f, from_python((([0, 0, 0, 0, 0], [3, 0, 2]), [10, 20, 30])))
+    assert to_python(out.value) == [10, 10, 10, 30, 30]
+
+
+def test_bm_route_bound_mismatch_is_error():
+    from repro.nsc import NSCEvalError
+
+    f = lib.bm_route(NAT, NAT)
+    with pytest.raises(NSCEvalError):
+        apply_function(f, from_python((([0, 0], [3, 0, 2]), [10, 20, 30])))
+
+
+def test_selections_sigma():
+    x = VSeq([VInl(VNat(1)), VInr(VNat(2)), VInr(VNat(3)), VInl(VNat(4))])
+    assert to_python(apply_function(lib.sigma1(NAT, NAT), x).value) == [1, 4]
+    assert to_python(apply_function(lib.sigma2(NAT, NAT), x).value) == [2, 3]
+
+
+def test_filter_constant_time():
+    pred = B.lam("z", NAT, B.le(B.v("z"), 5))
+    f = lib.filter_fn(pred, NAT)
+    small = apply_function(f, from_python([1, 9, 3]))
+    big = apply_function(f, from_python(list(range(100))))
+    assert to_python(small.value) == [1, 3]
+    assert to_python(big.value) == list(range(6))
+    assert big.time == small.time  # constant parallel time
+    assert big.work > small.work
+
+
+def test_positional_access():
+    xs = [9, 8, 7, 6]
+    assert to_python(apply_function(lib.first(NAT), from_python(xs)).value) == 9
+    assert to_python(apply_function(lib.last(NAT), from_python(xs)).value) == 6
+    assert to_python(apply_function(lib.tail(NAT), from_python(xs)).value) == [8, 7, 6]
+    assert to_python(apply_function(lib.remove_last(NAT), from_python(xs)).value) == [9, 8, 7]
+    assert to_python(apply_function(lib.nth(NAT), from_python((xs, 2))).value) == 7
+
+
+def test_positional_access_constant_time():
+    t_small = apply_function(lib.first(NAT), from_python([1, 2])).time
+    t_large = apply_function(lib.first(NAT), from_python(list(range(200)))).time
+    assert t_small == t_large
+
+
+def test_first_of_empty_is_error():
+    from repro.nsc import NSCEvalError
+
+    with pytest.raises(NSCEvalError):
+        apply_function(lib.first(NAT), from_python([]))
+
+
+def test_reduce_add_and_iota():
+    assert to_python(apply_function(lib.reduce_add(), from_python([])).value) == 0
+    assert to_python(apply_function(lib.reduce_add(), from_python([5])).value) == 5
+    assert to_python(apply_function(lib.reduce_add(), from_python(list(range(20)))).value) == sum(
+        range(20)
+    )
+    assert to_python(apply_function(lib.iota(), from_python(0)).value) == []
+    assert to_python(apply_function(lib.iota(), from_python(9)).value) == list(range(9))
+
+
+def test_reduce_add_logarithmic_time():
+    t8 = apply_function(lib.reduce_add(), from_python(list(range(8)))).time
+    t64 = apply_function(lib.reduce_add(), from_python(list(range(64)))).time
+    # 3 doubling levels vs 6: time should grow roughly 2x, not 8x
+    assert t64 <= 3 * t8
+
+
+def test_m_route():
+    out = apply_function(lib.m_route(NAT), from_python(([2, 0, 3], [7, 8, 9])))
+    assert to_python(out.value) == [7, 7, 9, 9, 9]
+
+
+def test_is_empty_and_pairwise():
+    assert to_python(apply_function(lib.is_empty(NAT), from_python([])).value) is True
+    assert to_python(apply_function(lib.is_empty(NAT), from_python([1])).value) is False
+    assert to_python(apply_function(lib.pairwise(NAT), from_python([1, 2, 3, 4, 5])).value) == [
+        [1, 2],
+        [3, 4],
+        [5],
+    ]
+
+
+def test_proj_map():
+    f = lib.proj_map(1, NAT, NAT)
+    out = apply_function(f, from_python([(1, 10), (2, 20)]))
+    assert to_python(out.value) == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), max_size=8),
+    st.lists(st.integers(min_value=0, max_value=3), max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_bm_route_property(data, counts):
+    counts = counts[: len(data)] + [0] * max(0, len(data) - len(counts))
+    bound = [0] * sum(counts)
+    expected = [d for d, c in zip(data, counts) for _ in range(c)]
+    f = lib.bm_route(NAT, NAT)
+    out = apply_function(f, from_python(((bound, counts), data)))
+    assert to_python(out.value) == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_reduce_add_property(xs):
+    assert to_python(apply_function(lib.reduce_add(), from_python(list(xs))).value) == sum(xs)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_first_last_tail_consistency(xs):
+    first = to_python(apply_function(lib.first(NAT), from_python(list(xs))).value)
+    last = to_python(apply_function(lib.last(NAT), from_python(list(xs))).value)
+    tail = to_python(apply_function(lib.tail(NAT), from_python(list(xs))).value)
+    assert first == xs[0] and last == xs[-1] and tail == list(xs[1:])
+    assert [first] + tail == list(xs)

@@ -1,0 +1,142 @@
+"""Unit and property tests for NSC types and S-objects (Section 3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nsc import types as T
+from repro.nsc import values as V
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def test_scalar_and_flat_classification():
+    assert T.NAT.is_scalar() and T.NAT.is_flat()
+    assert T.UNIT.is_scalar()
+    assert T.BOOL.is_scalar()
+    assert not T.seq(T.NAT).is_scalar()
+    assert T.seq(T.NAT).is_flat()
+    assert not T.seq(T.seq(T.NAT)).is_flat()
+    assert T.prod(T.seq(T.NAT), T.seq(T.BOOL)).is_flat()
+    assert not T.prod(T.seq(T.seq(T.NAT)), T.NAT).is_flat()
+
+
+def test_type_depth():
+    assert T.type_depth(T.NAT) == 0
+    assert T.type_depth(T.seq(T.NAT)) == 1
+    assert T.type_depth(T.seq(T.seq(T.prod(T.NAT, T.NAT)))) == 2
+    assert T.type_depth(T.prod(T.seq(T.NAT), T.seq(T.seq(T.NAT)))) == 2
+
+
+def test_type_equality_and_str():
+    assert T.seq(T.NAT) == T.seq(T.NAT)
+    assert T.seq(T.NAT) != T.seq(T.BOOL)
+    assert str(T.prod(T.NAT, T.seq(T.UNIT))) == "(N x [unit])"
+    assert str(T.fun(T.NAT, T.BOOL)) == "N -> (unit + unit)"
+
+
+def test_bool_is_unit_plus_unit():
+    assert T.BOOL == T.sum_t(T.UNIT, T.UNIT)
+
+
+# ---------------------------------------------------------------------------
+# Values and sizes (the unit-cost size measure)
+# ---------------------------------------------------------------------------
+
+
+def test_value_sizes_match_definition():
+    assert V.UNIT_VALUE.size == 1
+    assert V.nat(42).size == 1
+    assert V.pair(V.nat(1), V.nat(2)).size == 3
+    assert V.VInl(V.nat(5)).size == 2
+    assert V.VInr(V.UNIT_VALUE).size == 2
+    assert V.vseq([]).size == 1
+    assert V.vseq([V.nat(1), V.nat(2), V.nat(3)]).size == 4
+    nested = V.vseq([V.vseq([V.nat(1)]), V.vseq([])])
+    assert nested.size == 1 + 2 + 1
+
+
+def test_true_false_encoding():
+    assert V.TRUE == V.VInl(V.UNIT_VALUE)
+    assert V.FALSE == V.VInr(V.UNIT_VALUE)
+    assert V.truth(V.TRUE) is True
+    assert V.truth(V.FALSE) is False
+
+
+def test_from_to_python_roundtrip_simple():
+    data = [1, 2, 3]
+    assert V.to_python(V.from_python(data)) == data
+    assert V.to_python(V.from_python((4, [1, 2]))) == (4, [1, 2])
+    assert V.to_python(V.from_python(None)) is None
+    assert V.to_python(V.from_python(True)) is True
+
+
+def test_values_are_immutable_and_hashable():
+    a = V.pair(V.nat(1), V.vseq([V.nat(2)]))
+    b = V.pair(V.nat(1), V.vseq([V.nat(2)]))
+    assert a == b
+    assert hash(a) == hash(b)
+    try:
+        a.fst = V.nat(9)  # type: ignore[misc]
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised
+
+
+def test_check_value_type():
+    assert V.check_value_type(V.nat(3), T.NAT)
+    assert not V.check_value_type(V.nat(3), T.UNIT)
+    assert V.check_value_type(V.vseq([V.nat(1)]), T.seq(T.NAT))
+    assert not V.check_value_type(V.vseq([V.UNIT_VALUE]), T.seq(T.NAT))
+    assert V.check_value_type(V.TRUE, T.BOOL)
+    assert V.check_value_type(
+        V.pair(V.nat(1), V.vseq([])), T.prod(T.NAT, T.seq(T.NAT))
+    )
+
+
+def test_nat_list_and_back():
+    xs = [5, 0, 7]
+    assert V.seq_of_nats_to_list(V.nat_list(xs)) == xs
+
+
+def test_vnat_rejects_negative():
+    import pytest
+
+    with pytest.raises(ValueError):
+        V.VNat(-1)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+nested_data = st.recursive(
+    st.integers(min_value=0, max_value=1000),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(nested_data)
+@settings(max_examples=60, deadline=None)
+def test_from_python_roundtrip_property(data):
+    assert V.to_python(V.from_python(data)) == data
+
+
+@given(nested_data)
+@settings(max_examples=60, deadline=None)
+def test_size_is_positive_and_additive(data):
+    v = V.from_python(data)
+    assert v.size >= 1
+    if isinstance(v, V.VSeq):
+        assert v.size == 1 + sum(item.size for item in v.items)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_seq_equality_is_structural(xs):
+    assert V.nat_list(xs) == V.nat_list(list(xs))
+    assert V.nat_list(xs).size == len(xs) + 1

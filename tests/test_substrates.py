@@ -1,0 +1,258 @@
+"""Tests for the butterfly network (Prop 2.1), the Brent/PRAM scheduler (Prop 3.2),
+the Map Lemma flattening layer (Lemma 7.2) and the analysis helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import format_table, is_bounded_ratio, log_slope, loglog_slope, ratio_trend
+from repro.butterfly import (
+    Butterfly,
+    append_route,
+    arithmetic_steps,
+    bm_route_route,
+    instruction_steps,
+    sbm_route_route,
+    select_route,
+)
+from repro.bvram import run_program
+from repro.bvram.programs import filter_leq_program, pairwise_sum_program
+from repro.pram import brent_bound, schedule_outcome, schedule_trace, speedup_curve
+from repro.sa import (
+    CostCounter,
+    SegmentedVector,
+    python_while_reference,
+    seq_bm_route,
+    seq_filter,
+    seq_map_scalar,
+    seq_while_simple,
+    seq_while_staged,
+    seq_while_unbounded,
+)
+
+
+# ---------------------------------------------------------------------------
+# Butterfly (Proposition 2.1)
+# ---------------------------------------------------------------------------
+
+
+def test_identity_route_is_cheap():
+    net = Butterfly(16)
+    stats = net.route(list(range(16)), list(range(16)))
+    assert stats.max_congestion == 1
+    assert stats.steps <= 4  # log2(16)
+
+
+def test_monotone_routes_have_unit_congestion():
+    # the monotone routes used by append / bm_route keep greedy congestion at 1
+    for n in (8, 32, 128, 1024):
+        stats = bm_route_route([2] * (n // 2))
+        assert stats.max_congestion == 1
+        stats2 = append_route(n // 2, n - n // 2)
+        assert stats2.max_congestion == 1
+
+
+def test_steps_grow_logarithmically():
+    sizes = [2**k for k in range(3, 12)]
+    steps = [bm_route_route([2] * (n // 2)).steps for n in sizes]
+    slope = log_slope(sizes, steps)
+    # O(log n): about a constant number of steps per doubling, certainly < 4
+    assert 0.5 <= slope <= 4.0
+    # and far from linear growth
+    assert steps[-1] / steps[0] < 6
+
+
+def test_arithmetic_needs_no_communication():
+    assert arithmetic_steps(1024).steps == 1
+
+
+def test_select_and_sbm_routes():
+    # packing is monotone but not strictly increasing in the routed bits, so
+    # greedy bit-fixing may see a small constant congestion — never more.
+    assert select_route([1, 0, 1, 0, 1, 0, 0, 1]).max_congestion <= 2
+    st_ = sbm_route_route([4, 4, 4, 4], [1, 2, 0, 3])
+    assert st_.steps >= 1
+
+
+def test_instruction_steps_replay_known_opcodes():
+    for opcode in ("arith:+", "move", "append", "bm_route", "sbm_route", "select", "length"):
+        stats = instruction_steps(opcode, 256)
+        assert stats.steps >= 1
+    with pytest.raises(ValueError):
+        instruction_steps("mystery", 10)
+
+
+def test_butterfly_rows_rounded_to_power_of_two():
+    assert Butterfly(5).n_rows == 8
+    assert Butterfly(1).n_rows == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_bm_route_route_steps_bounded_by_log(counts):
+    stats = bm_route_route(counts)
+    n = max(1, sum(counts))
+    # two greedy passes plus a small constant for congestion at tiny sizes
+    bound = 3 * math.ceil(math.log2(max(2, n))) + 4
+    assert stats.steps <= bound
+
+
+# ---------------------------------------------------------------------------
+# Brent scheduling (Proposition 3.2)
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_outcome_matches_brent_shape():
+    T, W = 100, 100_000
+    cycles = [schedule_outcome(T, W, p).cycles for p in (1, 10, 100, 1000, 10000)]
+    # monotone non-increasing in p
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    # saturates near T once p >> W/T
+    assert cycles[-1] <= 5 * T
+    # and is within a constant factor of the O(T + W/p) bound
+    for p, c in zip((1, 10, 100, 1000, 10000), cycles):
+        assert c <= 4 * brent_bound(T, W, p)
+
+
+def test_schedule_trace_from_bvram_run():
+    result = run_program(pairwise_sum_program(), [list(range(64))])
+    s1 = schedule_trace(result.trace, 1)
+    s64 = schedule_trace(result.trace, 64)
+    assert s1.work == result.work
+    assert s1.cycles > s64.cycles
+    assert s64.cycles >= result.time  # cannot beat the critical path
+
+
+def test_speedup_curve_is_sorted_pairs():
+    curve = speedup_curve(10, 1000, [1, 2, 4, 8])
+    assert [p for p, _ in curve] == [1, 2, 4, 8]
+    assert all(c1 >= c2 for (_, c1), (_, c2) in zip(curve, curve[1:]))
+
+
+def test_invalid_processor_count():
+    with pytest.raises(ValueError):
+        schedule_outcome(10, 100, 0)
+    with pytest.raises(ValueError):
+        brent_bound(10, 100, 0)
+
+
+# ---------------------------------------------------------------------------
+# Map Lemma flattening (Lemma 7.2)
+# ---------------------------------------------------------------------------
+
+
+def test_segmented_vector_roundtrip():
+    nested = [[1, 2, 3], [], [4, 5]]
+    sv = SegmentedVector.from_nested(nested)
+    assert sv.to_nested() == nested
+    assert len(sv) == 3 and sv.total == 5
+
+
+def test_seq_map_and_filter_and_route():
+    sv = SegmentedVector.from_nested([[1, 2, 3], [], [4, 5]])
+    cost = CostCounter()
+    assert seq_map_scalar(sv, lambda d: d + 10, cost).to_nested() == [[11, 12, 13], [], [14, 15]]
+    assert seq_filter(sv, lambda d: d % 2 == 1, cost).to_nested() == [[1, 3], [], [5]]
+    routed = seq_bm_route(sv, np.array([0, 2, 1]), cost)
+    assert routed.to_nested() == [[], [], [4, 5]]
+    assert cost.time >= 3 and cost.work > 0
+
+
+def test_seq_while_schemes_agree_with_reference():
+    vals = np.array([1, 5, 3, 17, 2, 9])
+    pred = lambda v: v > 1
+    step = lambda v: v - 1
+    ref, _ = python_while_reference(vals, pred, step)
+    for result in (
+        seq_while_unbounded(vals, pred, step),
+        seq_while_simple(vals, pred, step),
+        seq_while_staged(vals, pred, step, 0.5),
+        seq_while_staged(vals, pred, step, 1.0),
+    ):
+        assert list(result.values) == ref
+
+
+def test_seq_while_register_counts():
+    vals = np.arange(1, 40)
+    pred = lambda v: v > 1
+    step = lambda v: v - 1
+    unbounded = seq_while_unbounded(vals, pred, step)
+    staged = seq_while_staged(vals, pred, step, 0.25)
+    simple = seq_while_simple(vals, pred, step)
+    # Remark 7.3 needs a register per finishing batch; Lemma 7.2 needs 3.
+    assert unbounded.cost.max_registers > 10
+    assert staged.cost.max_registers == 3
+    assert simple.cost.max_registers == 3
+
+
+def test_seq_while_staged_register_count_independent_of_eps():
+    vals = np.arange(1, 60)
+    regs = set()
+    for eps in (1.0, 0.5, 0.25, 0.1):
+        regs.add(seq_while_staged(vals, lambda v: v > 1, lambda v: v - 1, eps).cost.max_registers)
+    assert regs == {3}
+
+
+def test_seq_while_staged_overhead_below_simple_on_skewed_workload():
+    n = 128
+    vals = np.arange(1, n + 1)  # element i runs i iterations
+    sizes = np.full(n, 32)  # finished elements carry chunky results
+    pred = lambda v: v > 1
+    step = lambda v: v - 1
+    base = seq_while_unbounded(vals, pred, step, sizes).cost.work
+    simple = seq_while_simple(vals, pred, step, sizes).cost.work
+    staged = seq_while_staged(vals, pred, step, 0.5, sizes).cost.work
+    assert simple > 3 * base
+    assert staged < simple
+    assert staged < 2 * base + (n**0.5 + 3) * 32 * n  # O(n^eps * W)-ish
+
+
+def test_seq_while_rejects_bad_eps_and_sizes():
+    with pytest.raises(ValueError):
+        seq_while_staged([1, 2], lambda v: v > 1, lambda v: v - 1, 0.0)
+    with pytest.raises(ValueError):
+        seq_while_simple([1, 2], lambda v: v > 1, lambda v: v - 1, result_sizes=[1])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_seq_while_property(counts):
+    """All three schemes compute the same fixpoint as the scalar reference."""
+    vals = np.asarray(counts, dtype=np.int64)
+    pred = lambda v: v > 0
+    step = lambda v: np.maximum(v - 2, 0)
+    ref, _ = python_while_reference(vals, pred, step)
+    assert list(seq_while_simple(vals, pred, step).values) == ref
+    assert list(seq_while_staged(vals, pred, step, 0.5).values) == ref
+    assert list(seq_while_unbounded(vals, pred, step).values) == ref
+
+
+# ---------------------------------------------------------------------------
+# Analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def test_loglog_slope_recovers_exponent():
+    xs = [2**k for k in range(4, 10)]
+    assert abs(loglog_slope(xs, [x**2 for x in xs]).slope - 2.0) < 0.01
+    assert abs(loglog_slope(xs, [7 * x for x in xs]).slope - 1.0) < 0.01
+
+
+def test_ratio_and_boundedness():
+    assert is_bounded_ratio([10, 20, 40], [10, 20, 40])
+    assert not is_bounded_ratio([10, 100, 1000], [10, 20, 40])
+    first, last = ratio_trend([2, 4], [1, 1])
+    assert (first, last) == (2.0, 4.0)
+
+
+def test_format_table():
+    out = format_table(["a", "b"], [[1, 2], [30, 4]])
+    assert "a" in out and "30" in out and "|" in out
+
+
+def test_loglog_slope_needs_two_points():
+    with pytest.raises(ValueError):
+        loglog_slope([1], [1])
