@@ -1,0 +1,105 @@
+"""E8 — stack-safe evaluation: deep workloads impossible on a recursive engine.
+
+Claims: the iterative explicit-stack evaluator runs (a) a 100 000-iteration
+``while`` loop and (b) a depth-10 000 map-recursion tree under the *default*
+Python recursion limit of 1000, with T growing linearly in the loop count /
+tree depth — workloads on which a recursive tree-walking evaluator exhausts
+the C stack (the seed needed an import-time ``sys.setrecursionlimit(100_000)``
+to survive even shallow versions).  Also records evaluation throughput
+(machine steps per second) as the speed baseline for future engine work.
+
+Run:  pytest benchmarks/bench_e8_deep_recursion.py -s
+"""
+
+import sys
+import time
+
+from repro.algorithms.schemata import countdown
+from repro.analysis import format_table
+from repro.nsc import apply_function, from_python, to_python
+from repro.nsc import builder as B
+from repro.nsc import lib
+from repro.nsc.types import NAT
+
+
+def _countdown_while():
+    pred = B.lam("x", NAT, B.gt(B.v("x"), 0))
+    body = B.lam("x", NAT, B.sub(B.v("x"), 1))
+    return B.while_(pred, body)
+
+
+def _linear_tree_recfun():
+    """f(n) = if n <= 1 then n else first(r) + last(r), r = map(f)([1, n-1])."""
+    r = B.gensym("r")
+    return B.recfun(
+        "f",
+        "n",
+        NAT,
+        B.if_(
+            B.le(B.v("n"), 1),
+            B.v("n"),
+            B.let(
+                r,
+                B.app(
+                    B.map_(B.lam("m", NAT, B.reccall("f", B.v("m")))),
+                    B.append(B.single(B.c(1)), B.single(B.sub(B.v("n"), 1))),
+                ),
+                B.add(B.app(lib.first(NAT), B.v(r)), B.app(lib.last(NAT), B.v(r))),
+            ),
+        ),
+        NAT,
+    )
+
+
+def test_e8_deep_while_loops(benchmark):
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)  # the default: no headroom for a recursive engine
+    try:
+        w = _countdown_while()
+        rows = []
+        for n in (1_000, 10_000, 100_000):
+            t0 = time.perf_counter()
+            out = apply_function(w, from_python(n))
+            dt = time.perf_counter() - t0
+            assert to_python(out.value) == 0
+            rows.append([n, out.time, out.work, round(out.time / dt / 1e6, 2)])
+        print("\nE8  while-loop depth scaling (default recursion limit in force)")
+        print(format_table(["iterations", "T", "W", "T-steps/s (M)"], rows))
+        # T linear in the iteration count
+        assert rows[-1][1] > 90 * rows[0][1]
+    finally:
+        sys.setrecursionlimit(old_limit)
+    benchmark(lambda: apply_function(w, from_python(2_000)))
+
+
+def test_e8_deep_maprec_trees(benchmark):
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)
+    try:
+        f = _linear_tree_recfun()
+        rows = []
+        for depth in (1_000, 5_000, 10_000):
+            t0 = time.perf_counter()
+            out = apply_function(f, from_python(depth))
+            dt = time.perf_counter() - t0
+            assert to_python(out.value) == depth
+            rows.append([depth, out.time, out.work, round(dt, 3)])
+        print("\nE8  unbalanced map-recursion tree depth scaling")
+        print(format_table(["depth", "T", "W", "wall s"], rows))
+        assert rows[-1][1] > 9 * rows[0][1]
+    finally:
+        sys.setrecursionlimit(old_limit)
+    benchmark(lambda: apply_function(f, from_python(500)))
+
+
+def test_e8_tail_recursion_schema_deep(benchmark):
+    """The h-schema countdown runs at depths where the seed engine crashed."""
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)
+    try:
+        rf = countdown().to_recfun()
+        out = apply_function(rf, from_python(5_000))
+        assert to_python(out.value) == 0
+    finally:
+        sys.setrecursionlimit(old_limit)
+    benchmark(lambda: apply_function(rf, from_python(300)))

@@ -1,7 +1,9 @@
 """Shared helpers for the benchmark harness.
 
 Every experiment file regenerates one of the paper's claims (see DESIGN.md's
-experiment index) and prints the reproduced series as a table, so running
-``pytest benchmarks/ --benchmark-only -s`` reproduces the numbers recorded in
-EXPERIMENTS.md.
+experiment index) and prints the reproduced series as a table.  The files are
+named ``bench_e*.py`` (not ``test_*.py``), so they must be passed to pytest
+explicitly: ``pytest benchmarks/bench_e*.py -s`` reproduces the numbers
+recorded in EXPERIMENTS.md (add ``--benchmark-disable`` for a quick smoke
+pass, as CI does).
 """

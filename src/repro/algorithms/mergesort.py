@@ -398,6 +398,10 @@ def mergesort_recfun() -> A.RecFun:
 
 # ---------------------------------------------------------------------------
 # Convenience runners (used by tests, examples and benchmarks)
+#
+# Evaluation depth is bounded only by memory (the engine is an explicit-stack
+# machine), so these accept inputs whose recursion trees are far deeper than
+# the Python recursion limit.
 # ---------------------------------------------------------------------------
 
 

@@ -9,6 +9,10 @@ On random inputs the divide-and-conquer tree is balanced in expectation, so
 the Theorem 4.2 translation preserves the work; on already-sorted inputs the
 tree degenerates (``v = n``), making quicksort the natural workload for the
 balanced-vs-unbalanced comparison of experiment E3.
+
+The iterative evaluation engine (:mod:`repro.nsc.eval`) keeps its frames on
+the heap, so the degenerate depth-``n`` tree is no longer capped by the
+Python C stack: :func:`run_quicksort_sorted` exercises it directly.
 """
 
 from __future__ import annotations
@@ -83,3 +87,12 @@ def run_quicksort_translated(values: list[int]):
     from ..nsc import apply_function, from_python
 
     return apply_function(translate(quicksort_def()), from_python(list(values)))
+
+
+def run_quicksort_sorted(n: int):
+    """Evaluate recursive quicksort on the adversarial sorted input ``[0..n-1]``.
+
+    The recursion tree is a path of depth ``n`` — the unbalanced extreme of
+    experiment E3, runnable at depths the recursive evaluator could not reach.
+    """
+    return run_quicksort(list(range(n)))

@@ -157,6 +157,37 @@ def halving_tail() -> MapRecursiveDef:
     )
 
 
+def countdown() -> MapRecursiveDef:
+    """``h`` schema at full depth: ``f(n) = if n = 0 then n else f(n - 1)``.
+
+    The recursion tree is a path of length ``n`` — the canonical deep
+    workload.  On the seed's recursive evaluator this crashed for ``n`` in the
+    low hundreds (AST depth times recursion depth exhausted the C stack); the
+    iterative engine runs it at ``n = 10^5`` under the default recursion
+    limit (benchmark E8).
+    """
+    n = B.gensym("n")
+    pred = B.lam(n, NAT, B.eq(B.v(n), 0))
+    bn = B.gensym("n")
+    base = B.lam(bn, NAT, B.v(bn))
+    dn = B.gensym("n")
+    divide = B.lam(dn, NAT, B.single(B.sub(B.v(dn), 1)))
+    cp = B.gensym("p")
+    combine = B.lam(cp, prod(NAT, seq(NAT)), B.get_(B.snd(B.v(cp))))
+    cg = B.gensym("rs")
+    combine_simple = B.lam(cg, seq(NAT), B.get_(B.v(cg)))
+    return MapRecursiveDef(
+        name="countdown",
+        dom=NAT,
+        cod=NAT,
+        pred=pred,
+        base=base,
+        divide=divide,
+        combine=combine,
+        combine_simple=combine_simple,
+    )
+
+
 def two_or_three_way_sum() -> MapRecursiveDef:
     """``k`` schema: sum a sequence splitting into 3 parts when the length is
     divisible by 3, and into 2 parts otherwise.
@@ -211,5 +242,6 @@ ALL_SCHEMATA = {
     "balanced_sum": balanced_sum,
     "skewed_sum": skewed_sum,
     "halving_tail": halving_tail,
+    "countdown": countdown,
     "two_or_three_way_sum": two_or_three_way_sum,
 }

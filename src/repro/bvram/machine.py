@@ -59,11 +59,25 @@ def _arith(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if a.shape != b.shape:
         raise BVRAMError(f"arith {op}: operands have different lengths {a.size} and {b.size}")
     if op == "+":
-        return a + b
+        with np.errstate(over="ignore"):
+            c = a + b
+        # registers hold naturals < 2**63, so a wrapped sum is exactly a
+        # negative signed result
+        if c.size and int(c.min()) < 0:
+            raise BVRAMError("overflow in +: result exceeds the int64 register width")
+        return c
     if op == "-":
         return np.maximum(a - b, 0)  # monus
     if op == "*":
-        return a * b
+        with np.errstate(over="ignore"):
+            c = a * b
+        # widening check: a wrapped product either goes negative or fails to
+        # divide back (c = a*b - k*2**64 with k >= 1 can never reach a*b)
+        if c.size and (
+            int(c.min()) < 0 or bool(np.any(c // np.where(a == 0, 1, a) != np.where(a == 0, c, b)))
+        ):
+            raise BVRAMError("overflow in *: result exceeds the int64 register width")
+        return c
     if op == "/":
         if np.any(b == 0):
             raise BVRAMError("division by zero")

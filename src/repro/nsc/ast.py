@@ -421,32 +421,48 @@ class RecFun(Function):
 
 
 def walk(e: Expr) -> Iterator[Expr]:
-    """Pre-order traversal of an expression tree."""
-    yield e
-    for child in e.children():
-        yield from walk(child)
+    """Pre-order traversal of an expression tree.
+
+    Iterative (explicit stack): traversal depth is bounded by heap memory,
+    not the Python recursion limit — deep ``let`` chains and tall recursion
+    trees are first-class citizens of this code base.
+    """
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        yield node
+        children = list(node.children())
+        children.reverse()
+        stack.extend(children)
 
 
 def free_vars(e: Expr) -> frozenset[str]:
-    """Free term variables of an expression."""
-    if isinstance(e, Var):
-        return frozenset({e.name})
-    if isinstance(e, Lambda):
-        return free_vars(e.body) - {e.var}
-    if isinstance(e, RecFun):
-        return free_vars(e.body) - {e.var}
-    if isinstance(e, Let):
-        return free_vars(e.bound) | (free_vars(e.body) - {e.var})
-    if isinstance(e, Case):
-        return (
-            free_vars(e.scrutinee)
-            | (free_vars(e.left_body) - {e.left_var})
-            | (free_vars(e.right_body) - {e.right_var})
-        )
-    out: frozenset[str] = frozenset()
-    for child in e.children():
-        out |= free_vars(child)
-    return out
+    """Free term variables of an expression.
+
+    Iterative (explicit stack of ``(node, bound-names)`` pairs) so that the
+    evaluator can charge closures of arbitrarily deep function bodies under
+    the default recursion limit.
+    """
+    out: set[str] = set()
+    stack: list[tuple[Expr, frozenset[str]]] = [(e, frozenset())]
+    while stack:
+        node, bound = stack.pop()
+        if isinstance(node, Var):
+            if node.name not in bound:
+                out.add(node.name)
+        elif isinstance(node, (Lambda, RecFun)):
+            stack.append((node.body, bound | {node.var}))
+        elif isinstance(node, Let):
+            stack.append((node.bound, bound))
+            stack.append((node.body, bound | {node.var}))
+        elif isinstance(node, Case):
+            stack.append((node.scrutinee, bound))
+            stack.append((node.left_body, bound | {node.left_var}))
+            stack.append((node.right_body, bound | {node.right_var}))
+        else:
+            for child in node.children():
+                stack.append((child, bound))
+    return frozenset(out)
 
 
 def uses_recursion(e: Expr) -> bool:

@@ -43,11 +43,73 @@ The evaluator also interprets the two extensions carried by the AST:
 ``let`` blocks (Section 4's block structure) and named recursive definitions
 (:class:`repro.nsc.ast.RecFun`), which are the input of the map-recursion
 translation of Theorem 4.2.
+
+Iterative evaluation engine
+===========================
+
+The evaluator is an **explicit-stack machine** (a defunctionalized-CPS /
+work-stack interpreter), not a recursive tree walker.  Evaluation depth is
+therefore bounded only by heap memory, never by the C stack: a
+100 000-iteration ``while`` loop or a depth-10 000 map-recursion tree runs
+under the default ``sys.getrecursionlimit()`` of 1000, and importing this
+module mutates no global interpreter state.
+
+The machine keeps two heap stacks:
+
+``tasks``
+    pending work items, each a tuple (or, for the stateful ``map``/``while``
+    frames, a list) whose first element is a small integer opcode;
+
+``results``
+    completed premises as ``(value, T, W)`` triples.
+
+There are two *control* opcodes and a family of *continuation* frames:
+
+``_EV term env rec``
+    evaluate a term.  Leaf terms (variables, constants, ``()``, ``[]``) push
+    their triple onto ``results`` directly; compound terms push one of the
+    continuation frames below followed by ``_EV`` tasks for their premises
+    (last premise pushed first is evaluated first, preserving the recursive
+    evaluator's left-to-right order and hence which error surfaces first).
+
+``_AP fn arg env rec``
+    apply a function value-level: ``Lambda``/``RecFun`` charge their closure
+    and push ``_K_LAMBODY`` over the body's evaluation; ``map`` and ``while``
+    install the stateful frames below.
+
+``_K_BIN .. _K_LETBODY``
+    defunctionalized continuations, one per evaluation rule with premises.
+    Each frame stores exactly the already-known summands of its rule's T/W
+    equations (e.g. ``_K_CALL`` carries the argument's ``(T, W, size)``) and,
+    when executed, pops its remaining premises from ``results`` and pushes the
+    rule's conclusion triple.  The T/W arithmetic is carried over from the
+    recursive evaluator verbatim, so the engine is cost-identical to it
+    (``tests/test_eval_golden.py`` pins this with recorded goldens).
+
+``_K_MAP``
+    a mutable frame ``[op, F, items, env, rec, i, out, max_t, sum_w, size]``
+    that applies ``F`` to one element at a time, folding ``max`` over the
+    premises' T and ``sum`` over their W — the map rule's cost shape.
+
+``_K_WPRED`` / ``_K_WBODY``
+    the two halves of one ``while`` iteration, sharing a mutable
+    ``[current, T, W]`` accumulator; ``_K_WPRED`` dispatches on the
+    predicate's boolean and either finishes the loop or schedules the body,
+    whose ``_K_WBODY`` frame re-arms ``_K_WPRED`` for the next iteration —
+    constant stack depth per iteration.
+
+Per-evaluation caches remove the per-application overhead the recursive
+evaluator paid: free-variable sets are memoised per function node, and the
+total *closure size* is memoised per ``(function, environment)`` pair — under
+``map(F)`` the closure of ``F`` is charged once per element but now computed
+once per sequence.  The memos live on the machine, keep strong references to
+their keys (a recycled ``id`` can never alias a dead node — a latent bug of
+the recursive evaluator's module-level cache), and are dropped when the
+top-level ``evaluate``/``apply_function`` call returns.
 """
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from typing import Optional
 
@@ -65,11 +127,6 @@ from .values import (
     VUnit,
     bool_value,
 )
-
-# Deep while-loops and divide-and-conquer programs produce deep Python call
-# stacks (the AST depth times the recursion depth); make room for them.
-if sys.getrecursionlimit() < 100_000:
-    sys.setrecursionlimit(100_000)
 
 
 class NSCEvalError(RuntimeError):
@@ -159,7 +216,7 @@ def evaluate(term: A.Term, env: Optional[dict[str, Value]] = None) -> Outcome:
     e = _EMPTY_ENV
     for name, value in (env or {}).items():
         e = e.extend(name, value)
-    value, t, w = _eval_term(term, e, {})
+    value, t, w = _Machine().run((_EV, term, e, _EMPTY_REC))
     return Outcome(value, t, w)
 
 
@@ -168,7 +225,7 @@ def apply_function(fn: A.Function, arg: Value, env: Optional[dict[str, Value]] =
     e = _EMPTY_ENV
     for name, value in (env or {}).items():
         e = e.extend(name, value)
-    value, t, w = _apply(fn, arg, e, {})
+    value, t, w = _Machine().run((_AP, fn, arg, e, _EMPTY_REC))
     return Outcome(value, t, w)
 
 
@@ -218,281 +275,583 @@ def _unary(op: str, a: int) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Term evaluation
+# The explicit-stack machine
 # ---------------------------------------------------------------------------
 
+_EMPTY_REC: RecEnv = {}
 
-def _eval_term(term: A.Term, env: Env, rec: RecEnv) -> tuple[Value, int, int]:
-    # Axioms (no premises): SIZE = size(result).
-    if isinstance(term, A.Var):
-        v = env.lookup(term.name)
-        return v, 1, v.size
+# Control opcodes.
+_EV = 0  # (op, term, env, rec)       evaluate a term
+_AP = 1  # (op, fn, arg, env, rec)    apply a function to a value
 
-    if isinstance(term, A.Const):
-        v = VNat(term.value)
-        return v, 1, v.size
+# Continuation frames (consume completed premises from the results stack).
+_K_BIN = 2  # (op, arith_op)
+_K_UN = 3  # (op, arith_op)
+_K_EQ = 4
+_K_PAIR = 5
+_K_PROJ = 6  # (op, index)
+_K_INL = 7
+_K_INR = 8
+_K_CASE = 9  # (op, term, env, rec)
+_K_BRANCH = 10  # (op, scrut_t, scrut_w, scrut_size)
+_K_APPARG = 11  # (op, fn, env, rec)
+_K_CALL = 12  # (op, arg_t, arg_w, arg_size)
+_K_SINGLE = 13
+_K_APPEND = 14
+_K_FLATTEN = 15
+_K_LEN = 16
+_K_GET = 17
+_K_ZIP = 18
+_K_ENUM = 19
+_K_SPLIT = 20
+_K_LETBOUND = 21  # (op, var, body, env, rec)
+_K_LETBODY = 22  # (op, bound_t, bound_w, bound_size)
+_K_RECARG = 23  # (op, name, rec)
+_K_LAMBODY = 24  # (op, closure_size + arg_size)
+_K_MAP = 25  # [op, fn, items, env, rec, idx, out, max_t, sum_w, arg_size]
+_K_WPRED = 26  # (op, while_fn, env, rec, state)   state = [current, T, W]
+_K_WBODY = 27  # (op, while_fn, env, rec, state, pred_t, pred_w)
 
-    if isinstance(term, A.UnitTerm):
-        return UNIT_VALUE, 1, 1
+# Term-class dispatch table (one dict lookup instead of ~20 isinstance checks
+# per node, as the recursive evaluator paid).
+_T_VAR = 0
+_T_CONST = 1
+_T_UNIT = 2
+_T_ERROR = 3
+_T_EMPTY = 4
+_T_BINOP = 5
+_T_UNOP = 6
+_T_EQ = 7
+_T_PAIR = 8
+_T_PROJ = 9
+_T_INL = 10
+_T_INR = 11
+_T_CASE = 12
+_T_APPLY = 13
+_T_SINGLE = 14
+_T_APPEND = 15
+_T_FLATTEN = 16
+_T_LEN = 17
+_T_GET = 18
+_T_ZIP = 19
+_T_ENUM = 20
+_T_SPLIT = 21
+_T_LET = 22
+_T_RECCALL = 23
 
-    if isinstance(term, A.ErrorTerm):
-        raise NSCEvalError("evaluation of the error term Omega")
+_TERM_KIND: dict[type, int] = {
+    A.Var: _T_VAR,
+    A.Const: _T_CONST,
+    A.UnitTerm: _T_UNIT,
+    A.ErrorTerm: _T_ERROR,
+    A.EmptySeq: _T_EMPTY,
+    A.BinOp: _T_BINOP,
+    A.UnOp: _T_UNOP,
+    A.Eq: _T_EQ,
+    A.PairTerm: _T_PAIR,
+    A.Proj: _T_PROJ,
+    A.Inl: _T_INL,
+    A.Inr: _T_INR,
+    A.Case: _T_CASE,
+    A.Apply: _T_APPLY,
+    A.Singleton: _T_SINGLE,
+    A.Append: _T_APPEND,
+    A.Flatten: _T_FLATTEN,
+    A.Length: _T_LEN,
+    A.Get: _T_GET,
+    A.Zip: _T_ZIP,
+    A.Enumerate: _T_ENUM,
+    A.Split: _T_SPLIT,
+    A.Let: _T_LET,
+    A.RecCall: _T_RECCALL,
+}
 
-    if isinstance(term, A.EmptySeq):
-        v = VSeq(())
-        return v, 1, v.size
+#: the (immutable) empty sequence, shared by every ``[]`` evaluation
+_EMPTY_SEQ = VSeq(())
 
-    if isinstance(term, A.BinOp):
-        lv, lt, lw = _eval_term(term.left, env, rec)
-        rv, rt, rw = _eval_term(term.right, env, rec)
-        if not isinstance(lv, VNat) or not isinstance(rv, VNat):
-            raise NSCEvalError(f"arithmetic {term.op} on non-naturals")
-        v = VNat(_arith(term.op, lv.value, rv.value))
-        size = lv.size + rv.size + v.size
-        return v, 1 + lt + rt, size + lw + rw
+#: interned small naturals — arithmetic, ``length`` and ``enumerate`` results
+#: overwhelmingly land here, and VNat construction is the machine's hottest
+#: allocation (values are immutable, so sharing is invisible)
+_SMALL_NATS = tuple(VNat(i) for i in range(1025))
+_N_SMALL = len(_SMALL_NATS)
 
-    if isinstance(term, A.UnOp):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        if not isinstance(av, VNat):
-            raise NSCEvalError(f"unary {term.op} on a non-natural")
-        v = VNat(_unary(term.op, av.value))
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Eq):
-        lv, lt, lw = _eval_term(term.left, env, rec)
-        rv, rt, rw = _eval_term(term.right, env, rec)
-        v = bool_value(lv == rv)
-        size = lv.size + rv.size + v.size
-        return v, 1 + lt + rt, size + lw + rw
-
-    if isinstance(term, A.PairTerm):
-        fv, ft, fw = _eval_term(term.fst, env, rec)
-        sv, st, sw = _eval_term(term.snd, env, rec)
-        v = VPair(fv, sv)
-        size = fv.size + sv.size + v.size
-        return v, 1 + ft + st, size + fw + sw
-
-    if isinstance(term, A.Proj):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        if not isinstance(av, VPair):
-            raise NSCEvalError("projection applied to a non-pair")
-        v = av.fst if term.index == 1 else av.snd
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Inl):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        v = VInl(av)
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Inr):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        v = VInr(av)
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Case):
-        sv, st, sw = _eval_term(term.scrutinee, env, rec)
-        if isinstance(sv, VInl):
-            branch_env = env.extend(term.left_var, sv.value)
-            bv, bt, bw = _eval_term(term.left_body, branch_env, rec)
-        elif isinstance(sv, VInr):
-            branch_env = env.extend(term.right_var, sv.value)
-            bv, bt, bw = _eval_term(term.right_body, branch_env, rec)
-        else:
-            raise NSCEvalError("case scrutinee is not an injection")
-        size = sv.size + bv.size
-        return bv, 1 + st + bt, size + sw + bw
-
-    if isinstance(term, A.Apply):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        fv, ft, fw = _apply(term.fn, av, env, rec)
-        size = av.size + fv.size
-        return fv, 1 + at + ft, size + aw + fw
-
-    if isinstance(term, A.Singleton):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        v = VSeq((av,))
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Append):
-        lv, lt, lw = _eval_term(term.left, env, rec)
-        rv, rt, rw = _eval_term(term.right, env, rec)
-        if not isinstance(lv, VSeq) or not isinstance(rv, VSeq):
-            raise NSCEvalError("append of non-sequences")
-        v = VSeq(lv.items + rv.items)
-        size = lv.size + rv.size + v.size
-        return v, 1 + lt + rt, size + lw + rw
-
-    if isinstance(term, A.Flatten):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        if not isinstance(av, VSeq):
-            raise NSCEvalError("flatten of a non-sequence")
-        items: list[Value] = []
-        for inner in av.items:
-            if not isinstance(inner, VSeq):
-                raise NSCEvalError("flatten of a sequence whose elements are not sequences")
-            items.extend(inner.items)
-        v = VSeq(items)
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Length):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        if not isinstance(av, VSeq):
-            raise NSCEvalError("length of a non-sequence")
-        v = VNat(len(av))
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Get):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        if not isinstance(av, VSeq):
-            raise NSCEvalError("get of a non-sequence")
-        if len(av) != 1:
-            # get([x]) = x; get([]) = get([x0, x1, ...]) = Omega
-            raise NSCEvalError(f"get applied to a sequence of length {len(av)}")
-        v = av[0]
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Zip):
-        lv, lt, lw = _eval_term(term.left, env, rec)
-        rv, rt, rw = _eval_term(term.right, env, rec)
-        if not isinstance(lv, VSeq) or not isinstance(rv, VSeq):
-            raise NSCEvalError("zip of non-sequences")
-        if len(lv) != len(rv):
-            raise NSCEvalError(f"zip of sequences with different lengths {len(lv)} and {len(rv)}")
-        v = VSeq(VPair(a, b) for a, b in zip(lv.items, rv.items))
-        size = lv.size + rv.size + v.size
-        return v, 1 + lt + rt, size + lw + rw
-
-    if isinstance(term, A.Enumerate):
-        av, at, aw = _eval_term(term.arg, env, rec)
-        if not isinstance(av, VSeq):
-            raise NSCEvalError("enumerate of a non-sequence")
-        v = VSeq(VNat(i) for i in range(len(av)))
-        return v, 1 + at, av.size + v.size + aw
-
-    if isinstance(term, A.Split):
-        dv, dt, dw = _eval_term(term.data, env, rec)
-        cv, ct, cw = _eval_term(term.counts, env, rec)
-        if not isinstance(dv, VSeq) or not isinstance(cv, VSeq):
-            raise NSCEvalError("split of non-sequences")
-        counts = []
-        for c in cv.items:
-            if not isinstance(c, VNat):
-                raise NSCEvalError("split counts must be naturals")
-            counts.append(c.value)
-        if sum(counts) != len(dv):
-            raise NSCEvalError(
-                f"split counts sum to {sum(counts)} but the sequence has length {len(dv)}"
-            )
-        groups: list[VSeq] = []
-        pos = 0
-        for c in counts:
-            groups.append(VSeq(dv.items[pos : pos + c]))
-            pos += c
-        v = VSeq(groups)
-        size = dv.size + cv.size + v.size
-        return v, 1 + dt + ct, size + dw + cw
-
-    if isinstance(term, A.Let):
-        bv, bt, bw = _eval_term(term.bound, env, rec)
-        inner = env.extend(term.var, bv)
-        rv, rt, rw = _eval_term(term.body, inner, rec)
-        size = bv.size + rv.size
-        return rv, 1 + bt + rt, size + bw + rw
-
-    if isinstance(term, A.RecCall):
-        if term.name not in rec:
-            raise NSCEvalError(f"call to unknown recursive function {term.name!r}")
-        av, at, aw = _eval_term(term.arg, env, rec)
-        binding = rec[term.name]
-        fv, ft, fw = _apply(binding.defn, av, binding.env, rec)
-        size = av.size + fv.size
-        return fv, 1 + at + ft, size + aw + fw
-
-    raise NSCEvalError(f"unknown term node {type(term).__name__}")
+# Preallocated payload-free continuation frames (one shared tuple per opcode
+# instead of a fresh allocation per AST node visited).
+_F_EQ = (_K_EQ,)
+_F_PAIR = (_K_PAIR,)
+_F_INL = (_K_INL,)
+_F_INR = (_K_INR,)
+_F_SINGLE = (_K_SINGLE,)
+_F_APPEND = (_K_APPEND,)
+_F_FLATTEN = (_K_FLATTEN,)
+_F_LEN = (_K_LEN,)
+_F_GET = (_K_GET,)
+_F_ZIP = (_K_ZIP,)
+_F_ENUM = (_K_ENUM,)
+_F_SPLIT = (_K_SPLIT,)
+_BIN_FRAMES = {op: (_K_BIN, op) for op in A.BINARY_OPS}
+_UN_FRAMES = {op: (_K_UN, op) for op in A.UNARY_OPS}
+_PROJ_FRAMES = {1: (_K_PROJ, 1), 2: (_K_PROJ, 2)}
 
 
-# ---------------------------------------------------------------------------
-# Function application (the ternary relation  F(C) \Downarrow C')
-# ---------------------------------------------------------------------------
+class _Machine:
+    """One top-level evaluation: a task stack, a results stack, per-run caches.
 
-# Free-variable sets are memoised per function node: they are needed on every
-# application to charge the size of the captured closure.
-_FREE_VARS_CACHE: dict[int, frozenset[str]] = {}
-
-
-def _closure_size(fn: A.Function, env: Env) -> int:
-    """Total size of the values captured by ``fn`` from ``env`` (its closure).
-
-    This is what an implementation has to materialise when applying ``fn`` —
-    and, under ``map``, broadcast to every element — so it is part of the
-    SIZE charged by the application rules.
+    All three memos live on the machine (not the module) so their entries —
+    which pin the cached AST nodes with strong references, making a recycled
+    ``id()`` unable to alias a dead node — are dropped when the evaluation
+    finishes, instead of accumulating for the lifetime of the process.
     """
-    key = id(fn)
-    names = _FREE_VARS_CACHE.get(key)
-    if names is None:
-        names = A.free_vars(fn)
-        _FREE_VARS_CACHE[key] = names
-    total = 0
-    for name in names:
-        try:
-            total += env.lookup(name).size
-        except NSCEvalError:
-            # a free variable of a nested recursive definition may be bound
-            # only at its own application site
-            continue
-    return total
 
+    __slots__ = ("_csize", "_fv", "_consts")
 
-def _apply(fn: A.Function, arg: Value, env: Env, rec: RecEnv) -> tuple[Value, int, int]:
-    if isinstance(fn, A.Lambda):
-        inner = env.extend(fn.var, arg)
-        bv, bt, bw = _eval_term(fn.body, inner, rec)
-        size = _closure_size(fn, env) + arg.size + bv.size
-        return bv, 1 + bt, size + bw
+    def __init__(self) -> None:
+        # (id(fn), id(env)) -> (fn, env, size); strong refs pin the ids.
+        self._csize: dict[tuple[int, int], tuple[A.Function, Env, int]] = {}
+        # id(fn) -> (fn, free-variable names)
+        self._fv: dict[int, tuple[A.Function, tuple[str, ...]]] = {}
+        # id(term) -> (term, interned VNat), for constants >= _N_SMALL
+        self._consts: dict[int, tuple[A.Const, VNat]] = {}
 
-    if isinstance(fn, A.MapF):
-        if not isinstance(arg, VSeq):
-            raise NSCEvalError("map applied to a non-sequence")
-        results: list[Value] = []
-        max_t = 0
-        total_w = 0
-        for item in arg.items:
-            v, t, w = _apply(fn.fn, item, env, rec)
-            results.append(v)
-            if t > max_t:
-                max_t = t
-            total_w += w
-        out = VSeq(results)
-        # T = 1 + max_i T(F, C_i); W = SIZE + sum_i W(F, C_i)
-        size = arg.size + out.size
-        return out, 1 + max_t, size + total_w
+    def _free_var_names(self, fn: A.Function) -> tuple[str, ...]:
+        key = id(fn)
+        hit = self._fv.get(key)
+        if hit is not None and hit[0] is fn:
+            return hit[1]
+        names = tuple(A.free_vars(fn))
+        self._fv[key] = (fn, names)
+        return names
 
-    if isinstance(fn, A.WhileF):
-        # Iterative unfolding of the two while rules of Definition 3.1.
-        current = arg
-        total_t = 0
-        total_w = 0
-        while True:
-            pv, pt, pw = _apply(fn.pred, current, env, rec)
-            if pv == FALSE:
-                # while(P, F)(C) \Downarrow C  when P(C) \Downarrow false
-                total_t += 1 + pt
-                total_w += current.size + pw
-                return current, total_t, total_w
-            if pv != TRUE:
-                raise NSCEvalError("while predicate did not return a boolean")
-            bv, bt, bw = _apply(fn.body, current, env, rec)
-            # W(while(P,F),C) = size(C) + size(C') + W(P,C) + W(F,C) + W(while, C')
-            total_t += 1 + pt + bt
-            total_w += current.size + bv.size + pw + bw
-            current = bv
+    def _closure_size(self, fn: A.Function, env: Env) -> int:
+        """Total size of the values captured by ``fn`` from ``env`` (its closure).
 
-    if isinstance(fn, A.RecFun):
-        rec2 = dict(rec)
-        rec2[fn.name] = _RecBinding(fn, env)
-        inner = env.extend(fn.var, arg)
-        bv, bt, bw = _eval_term(fn.body, inner, rec2)
-        size = _closure_size(fn, env) + arg.size + bv.size
-        return bv, 1 + bt, size + bw
+        This is what an implementation has to materialise when applying
+        ``fn`` — and, under ``map``, broadcast to every element — so it is
+        part of the SIZE charged by the application rules.
+        """
+        names = self._free_var_names(fn)
+        if not names:
+            return 0
+        key = (id(fn), id(env))
+        hit = self._csize.get(key)
+        if hit is not None and hit[0] is fn and hit[1] is env:
+            return hit[2]
+        size = 0
+        for name in names:
+            try:
+                size += env.lookup(name).size
+            except NSCEvalError:
+                # a free variable of a nested recursive definition may be
+                # bound only at its own application site
+                continue
+        self._csize[key] = (fn, env, size)
+        return size
 
-    raise NSCEvalError(f"unknown function node {type(fn).__name__}")
+    def run(self, task: tuple) -> tuple[Value, int, int]:
+        tasks: list = [task]
+        results: list[tuple[Value, int, int]] = []
+        push = tasks.append
+        emit = results.append
+        kind_of = _TERM_KIND.get
+        const_cache = self._consts
+
+        # The outer loop pops one frame per round.  Frames that end with a
+        # term still to evaluate (an _EV task, a function body, a case branch,
+        # a let body) fall through to the *inner* loop at the bottom, which
+        # walks the leftmost spine of the term without going through the task
+        # stack at all — only right-hand siblings are materialised as _EV
+        # tasks.  This preserves the recursive evaluator's evaluation order
+        # exactly while roughly halving the stack traffic.
+        while tasks:
+            frame = tasks.pop()
+            op = frame[0]
+
+            if op == _EV:
+                term = frame[1]
+                env = frame[2]
+                rec = frame[3]
+
+            # ---------------- control: apply a function ----------------
+            elif op == _AP:
+                fn = frame[1]
+                arg = frame[2]
+                env = frame[3]
+                rec = frame[4]
+                cls = fn.__class__
+                if cls is A.Lambda:
+                    push((_K_LAMBODY, self._closure_size(fn, env) + arg.size))
+                    term = fn.body
+                    env = env.extend(fn.var, arg)
+                elif cls is A.MapF:
+                    if not isinstance(arg, VSeq):
+                        raise NSCEvalError("map applied to a non-sequence")
+                    items = arg.items
+                    if not items:
+                        # T = 1 + max over zero premises; W = SIZE.
+                        emit((_EMPTY_SEQ, 1, arg.size + 1))
+                    else:
+                        push([_K_MAP, fn.fn, items, env, rec, 0, [], 0, 0, arg.size])
+                        push((_AP, fn.fn, items[0], env, rec))
+                    continue
+                elif cls is A.WhileF:
+                    state = [arg, 0, 0]  # [current, total_t, total_w]
+                    push((_K_WPRED, fn, env, rec, state))
+                    push((_AP, fn.pred, arg, env, rec))
+                    continue
+                elif cls is A.RecFun:
+                    push((_K_LAMBODY, self._closure_size(fn, env) + arg.size))
+                    rec = dict(rec)
+                    rec[fn.name] = _RecBinding(fn, env)
+                    term = fn.body
+                    env = env.extend(fn.var, arg)
+                else:
+                    raise NSCEvalError(f"unknown function node {type(fn).__name__}")
+
+            # ---------------- continuations ----------------
+            elif op == _K_CASE:
+                sv, st, sw = results.pop()
+                cterm = frame[1]
+                env = frame[2]
+                rec = frame[3]
+                if isinstance(sv, VInl):
+                    env = env.extend(cterm.left_var, sv.value)
+                    term = cterm.left_body
+                elif isinstance(sv, VInr):
+                    env = env.extend(cterm.right_var, sv.value)
+                    term = cterm.right_body
+                else:
+                    raise NSCEvalError("case scrutinee is not an injection")
+                push((_K_BRANCH, st, sw, sv.size))
+            elif op == _K_LETBOUND:
+                bv, bt, bw = results.pop()
+                push((_K_LETBODY, bt, bw, bv.size))
+                term = frame[2]
+                env = frame[3].extend(frame[1], bv)
+                rec = frame[4]
+            elif op == _K_BIN:
+                rv, rt, rw = results.pop()
+                lv, lt, lw = results.pop()
+                if not isinstance(lv, VNat) or not isinstance(rv, VNat):
+                    raise NSCEvalError(f"arithmetic {frame[1]} on non-naturals")
+                n = _arith(frame[1], lv.value, rv.value)
+                v = _SMALL_NATS[n] if n < _N_SMALL else VNat(n)
+                # all three S-objects are naturals of size 1: SIZE = 3
+                emit((v, 1 + lt + rt, 3 + lw + rw))
+                continue
+            elif op == _K_UN:
+                av, at, aw = results.pop()
+                if not isinstance(av, VNat):
+                    raise NSCEvalError(f"unary {frame[1]} on a non-natural")
+                n = _unary(frame[1], av.value)
+                v = _SMALL_NATS[n] if n < _N_SMALL else VNat(n)
+                emit((v, 1 + at, 2 + aw))
+                continue
+            elif op == _K_EQ:
+                rv, rt, rw = results.pop()
+                lv, lt, lw = results.pop()
+                v = bool_value(lv == rv)
+                emit((v, 1 + lt + rt, lv.size + rv.size + v.size + lw + rw))
+                continue
+            elif op == _K_PAIR:
+                sv, st, sw = results.pop()
+                fv, ft, fw = results.pop()
+                v = VPair(fv, sv)
+                emit((v, 1 + ft + st, fv.size + sv.size + v.size + fw + sw))
+                continue
+            elif op == _K_PROJ:
+                av, at, aw = results.pop()
+                if not isinstance(av, VPair):
+                    raise NSCEvalError("projection applied to a non-pair")
+                v = av.fst if frame[1] == 1 else av.snd
+                emit((v, 1 + at, av.size + v.size + aw))
+                continue
+            elif op == _K_INL:
+                av, at, aw = results.pop()
+                v = VInl(av)
+                emit((v, 1 + at, av.size + v.size + aw))
+                continue
+            elif op == _K_INR:
+                av, at, aw = results.pop()
+                v = VInr(av)
+                emit((v, 1 + at, av.size + v.size + aw))
+                continue
+            elif op == _K_BRANCH:
+                bv, bt, bw = results.pop()
+                emit((bv, 1 + frame[1] + bt, frame[3] + bv.size + frame[2] + bw))
+                continue
+            elif op == _K_APPARG:
+                av, at, aw = results.pop()
+                push((_K_CALL, at, aw, av.size))
+                push((_AP, frame[1], av, frame[2], frame[3]))
+                continue
+            elif op == _K_CALL:
+                fv, ft, fw = results.pop()
+                emit((fv, 1 + frame[1] + ft, frame[3] + fv.size + frame[2] + fw))
+                continue
+            elif op == _K_SINGLE:
+                av, at, aw = results.pop()
+                v = VSeq((av,))
+                emit((v, 1 + at, av.size + v.size + aw))
+                continue
+            elif op == _K_APPEND:
+                rv, rt, rw = results.pop()
+                lv, lt, lw = results.pop()
+                if not isinstance(lv, VSeq) or not isinstance(rv, VSeq):
+                    raise NSCEvalError("append of non-sequences")
+                v = VSeq(lv.items + rv.items)
+                emit((v, 1 + lt + rt, lv.size + rv.size + v.size + lw + rw))
+                continue
+            elif op == _K_FLATTEN:
+                av, at, aw = results.pop()
+                if not isinstance(av, VSeq):
+                    raise NSCEvalError("flatten of a non-sequence")
+                items: list[Value] = []
+                for inner in av.items:
+                    if not isinstance(inner, VSeq):
+                        raise NSCEvalError(
+                            "flatten of a sequence whose elements are not sequences"
+                        )
+                    items.extend(inner.items)
+                v = VSeq(items)
+                emit((v, 1 + at, av.size + v.size + aw))
+                continue
+            elif op == _K_LEN:
+                av, at, aw = results.pop()
+                if not isinstance(av, VSeq):
+                    raise NSCEvalError("length of a non-sequence")
+                n = len(av)
+                v = _SMALL_NATS[n] if n < _N_SMALL else VNat(n)
+                emit((v, 1 + at, av.size + 1 + aw))
+                continue
+            elif op == _K_GET:
+                av, at, aw = results.pop()
+                if not isinstance(av, VSeq):
+                    raise NSCEvalError("get of a non-sequence")
+                if len(av) != 1:
+                    # get([x]) = x; get([]) = get([x0, x1, ...]) = Omega
+                    raise NSCEvalError(f"get applied to a sequence of length {len(av)}")
+                v = av[0]
+                emit((v, 1 + at, av.size + v.size + aw))
+                continue
+            elif op == _K_ZIP:
+                rv, rt, rw = results.pop()
+                lv, lt, lw = results.pop()
+                if not isinstance(lv, VSeq) or not isinstance(rv, VSeq):
+                    raise NSCEvalError("zip of non-sequences")
+                if len(lv) != len(rv):
+                    raise NSCEvalError(
+                        f"zip of sequences with different lengths {len(lv)} and {len(rv)}"
+                    )
+                v = VSeq(VPair(a, b) for a, b in zip(lv.items, rv.items))
+                emit((v, 1 + lt + rt, lv.size + rv.size + v.size + lw + rw))
+                continue
+            elif op == _K_ENUM:
+                av, at, aw = results.pop()
+                if not isinstance(av, VSeq):
+                    raise NSCEvalError("enumerate of a non-sequence")
+                n = len(av)
+                if n <= _N_SMALL:
+                    v = VSeq(_SMALL_NATS[:n])
+                else:
+                    v = VSeq(
+                        _SMALL_NATS[i] if i < _N_SMALL else VNat(i) for i in range(n)
+                    )
+                emit((v, 1 + at, av.size + v.size + aw))
+                continue
+            elif op == _K_SPLIT:
+                cv, ct, cw = results.pop()
+                dv, dt, dw = results.pop()
+                if not isinstance(dv, VSeq) or not isinstance(cv, VSeq):
+                    raise NSCEvalError("split of non-sequences")
+                counts = []
+                for c in cv.items:
+                    if not isinstance(c, VNat):
+                        raise NSCEvalError("split counts must be naturals")
+                    counts.append(c.value)
+                if sum(counts) != len(dv):
+                    raise NSCEvalError(
+                        f"split counts sum to {sum(counts)} but the sequence has length {len(dv)}"
+                    )
+                groups: list[VSeq] = []
+                pos = 0
+                for c in counts:
+                    groups.append(VSeq(dv.items[pos : pos + c]))
+                    pos += c
+                v = VSeq(groups)
+                emit((v, 1 + dt + ct, dv.size + cv.size + v.size + dw + cw))
+                continue
+            elif op == _K_LETBODY:
+                rv, rt, rw = results.pop()
+                emit((rv, 1 + frame[1] + rt, frame[3] + rv.size + frame[2] + rw))
+                continue
+            elif op == _K_RECARG:
+                av, at, aw = results.pop()
+                binding = frame[2][frame[1]]
+                push((_K_CALL, at, aw, av.size))
+                push((_AP, binding.defn, av, binding.env, frame[2]))
+                continue
+            elif op == _K_LAMBODY:
+                bv, bt, bw = results.pop()
+                emit((bv, 1 + bt, frame[1] + bv.size + bw))
+                continue
+            elif op == _K_MAP:
+                v, t, w = results.pop()
+                frame[6].append(v)
+                if t > frame[7]:
+                    frame[7] = t
+                frame[8] += w
+                i = frame[5] + 1
+                items = frame[2]
+                if i < len(items):
+                    frame[5] = i
+                    push(frame)
+                    push((_AP, frame[1], items[i], frame[3], frame[4]))
+                else:
+                    out = VSeq(frame[6])
+                    # T = 1 + max_i T(F, C_i); W = SIZE + sum_i W(F, C_i)
+                    emit((out, 1 + frame[7], frame[9] + out.size + frame[8]))
+                continue
+            elif op == _K_WPRED:
+                pv, pt, pw = results.pop()
+                state = frame[4]
+                current = state[0]
+                if pv is FALSE or pv == FALSE:
+                    # while(P, F)(C) \Downarrow C  when P(C) \Downarrow false
+                    emit((current, state[1] + 1 + pt, state[2] + current.size + pw))
+                elif pv is TRUE or pv == TRUE:
+                    push((_K_WBODY, frame[1], frame[2], frame[3], state, pt, pw))
+                    push((_AP, frame[1].body, current, frame[2], frame[3]))
+                else:
+                    raise NSCEvalError("while predicate did not return a boolean")
+                continue
+            elif op == _K_WBODY:
+                bv, bt, bw = results.pop()
+                state = frame[4]
+                current = state[0]
+                # W(while(P,F),C) = size(C) + size(C') + W(P,C) + W(F,C) + W(while, C')
+                state[1] += 1 + frame[5] + bt
+                state[2] += current.size + bv.size + frame[6] + bw
+                state[0] = bv
+                push((_K_WPRED, frame[1], frame[2], frame[3], state))
+                push((_AP, frame[1].pred, bv, frame[2], frame[3]))
+                continue
+            else:  # pragma: no cover - opcodes are exhaustive
+                raise NSCEvalError(f"unknown machine opcode {op}")
+
+            # ------------- inner loop: walk the leftmost spine -------------
+            # Reached with (term, env, rec) set by one of the fall-through
+            # branches above.  Leaf terms emit their axiom triple and leave;
+            # compound terms push their continuation frame plus _EV tasks for
+            # every premise but the first, then iterate into the first premise
+            # directly.
+            while True:
+                kind = kind_of(term.__class__)
+
+                if kind == _T_VAR:
+                    # inlined Env.lookup (the hottest single operation)
+                    name = term.name
+                    e = env
+                    while e is not None:
+                        if e._name == name:
+                            v = e._value
+                            break
+                        e = e._parent
+                    else:
+                        raise NSCEvalError(f"unbound variable {name!r} at run time")
+                    emit((v, 1, v.size))
+                    break
+                elif kind == _T_CONST:
+                    n = term.value
+                    if 0 <= n < _N_SMALL:
+                        v = _SMALL_NATS[n]
+                    else:
+                        # n < 0 reaches VNat below, which rejects it
+                        key = id(term)
+                        hit = const_cache.get(key)
+                        if hit is not None and hit[0] is term:
+                            v = hit[1]
+                        else:
+                            v = VNat(n)
+                            const_cache[key] = (term, v)
+                    emit((v, 1, 1))
+                    break
+                elif kind == _T_BINOP:
+                    push(_BIN_FRAMES[term.op])
+                    push((_EV, term.right, env, rec))
+                    term = term.left
+                elif kind == _T_APPLY:
+                    push((_K_APPARG, term.fn, env, rec))
+                    term = term.arg
+                elif kind == _T_LET:
+                    push((_K_LETBOUND, term.var, term.body, env, rec))
+                    term = term.bound
+                elif kind == _T_CASE:
+                    push((_K_CASE, term, env, rec))
+                    term = term.scrutinee
+                elif kind == _T_EQ:
+                    push(_F_EQ)
+                    push((_EV, term.right, env, rec))
+                    term = term.left
+                elif kind == _T_PAIR:
+                    push(_F_PAIR)
+                    push((_EV, term.snd, env, rec))
+                    term = term.fst
+                elif kind == _T_PROJ:
+                    push(_PROJ_FRAMES[term.index])
+                    term = term.arg
+                elif kind == _T_INL:
+                    push(_F_INL)
+                    term = term.arg
+                elif kind == _T_INR:
+                    push(_F_INR)
+                    term = term.arg
+                elif kind == _T_UNOP:
+                    push(_UN_FRAMES[term.op])
+                    term = term.arg
+                elif kind == _T_SINGLE:
+                    push(_F_SINGLE)
+                    term = term.arg
+                elif kind == _T_APPEND:
+                    push(_F_APPEND)
+                    push((_EV, term.right, env, rec))
+                    term = term.left
+                elif kind == _T_FLATTEN:
+                    push(_F_FLATTEN)
+                    term = term.arg
+                elif kind == _T_LEN:
+                    push(_F_LEN)
+                    term = term.arg
+                elif kind == _T_GET:
+                    push(_F_GET)
+                    term = term.arg
+                elif kind == _T_ZIP:
+                    push(_F_ZIP)
+                    push((_EV, term.right, env, rec))
+                    term = term.left
+                elif kind == _T_ENUM:
+                    push(_F_ENUM)
+                    term = term.arg
+                elif kind == _T_SPLIT:
+                    push(_F_SPLIT)
+                    push((_EV, term.counts, env, rec))
+                    term = term.data
+                elif kind == _T_RECCALL:
+                    if term.name not in rec:
+                        raise NSCEvalError(
+                            f"call to unknown recursive function {term.name!r}"
+                        )
+                    push((_K_RECARG, term.name, rec))
+                    term = term.arg
+                elif kind == _T_UNIT:
+                    emit((UNIT_VALUE, 1, 1))
+                    break
+                elif kind == _T_EMPTY:
+                    emit((_EMPTY_SEQ, 1, 1))
+                    break
+                elif kind == _T_ERROR:
+                    raise NSCEvalError("evaluation of the error term Omega")
+                else:
+                    raise NSCEvalError(f"unknown term node {type(term).__name__}")
+
+        assert len(results) == 1, "machine finished with an unbalanced results stack"
+        return results[0]

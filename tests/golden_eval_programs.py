@@ -1,0 +1,135 @@
+"""A battery of NSC programs exercised by the golden cost-model regression test.
+
+Each entry is ``(name, thunk)`` where ``thunk()`` returns the evaluation
+:class:`~repro.nsc.eval.Outcome`.  The golden (value, T, W) triples in
+``tests/test_eval_golden.py`` were recorded from the original recursive
+evaluator; the iterative engine must reproduce them exactly (Definition 3.1
+is deterministic, so any divergence is a bug in the engine, not noise).
+"""
+
+from repro.algorithms.mergesort import merge_recfun, mergesort_recfun
+from repro.algorithms.quicksort import quicksort_def
+from repro.algorithms.schemata import balanced_sum, halving_tail, skewed_sum, two_or_three_way_sum
+from repro.maprec.translate import translate
+from repro.nsc import apply_function, evaluate, from_python
+from repro.nsc import builder as B
+from repro.nsc import lib
+from repro.nsc.types import NAT, prod, seq
+
+
+def _while_double():
+    pred = B.lam("x", NAT, B.lt(B.v("x"), 100))
+    body = B.lam("x", NAT, B.mul(B.v("x"), 2))
+    return apply_function(B.while_(pred, body), from_python(1))
+
+
+def _map_square():
+    f = B.map_(B.lam("x", NAT, B.mul(B.v("x"), B.v("x"))))
+    return apply_function(f, from_python([1, 2, 3, 4, 5, 6, 7]))
+
+
+def _map_closure():
+    body = B.lam("y", NAT, B.length_(B.v("xs")))
+    return apply_function(B.map_(body), from_python([1, 2, 3]), {"xs": from_python(list(range(32)))})
+
+
+def _case_let():
+    prog = B.let(
+        "x",
+        B.add(1, 2),
+        B.case_(B.inl(B.v("x"), NAT), "l", B.mul(B.v("l"), B.v("l")), "r", B.c(0)),
+    )
+    return evaluate(prog)
+
+
+def _seq_ops():
+    xs = B.nat_seq([5, 1, 4, 2, 3, 9])
+    prog = B.pair(
+        B.flatten_(B.split_(xs, B.nat_seq([2, 0, 3, 1]))),
+        B.zip_(B.nat_seq([1, 2]), B.enumerate_(B.nat_seq([7, 8]))),
+    )
+    return evaluate(prog)
+
+
+def _reduce_add():
+    return apply_function(lib.reduce_add(), from_python(list(range(17))))
+
+
+def _iota():
+    return apply_function(lib.iota(), from_python(13))
+
+
+def _m_route():
+    return apply_function(
+        lib.m_route(NAT), from_python(([2, 0, 3], [10, 20, 30]))
+    )
+
+
+def _quicksort_rec():
+    from repro.algorithms.quicksort import run_quicksort
+
+    return run_quicksort([5, 3, 8, 1, 9, 2, 7, 4, 6, 0])
+
+
+def _quicksort_translated():
+    from repro.algorithms.quicksort import run_quicksort_translated
+
+    return run_quicksort_translated([3, 1, 4, 1, 5, 9, 2, 6])
+
+
+def _mergesort():
+    from repro.algorithms.mergesort import run_mergesort
+
+    return run_mergesort([5, 3, 8, 1, 9, 2, 7, 4])
+
+
+def _merge():
+    from repro.algorithms.mergesort import run_merge
+
+    return run_merge([1, 3, 5, 7, 9, 11], [2, 4, 6, 8, 10, 12, 14, 16])
+
+
+def _balanced_sum_rec():
+    return apply_function(balanced_sum().to_recfun(), from_python(list(range(12))))
+
+
+def _balanced_sum_translated():
+    return apply_function(translate(balanced_sum()), from_python(list(range(12))))
+
+
+def _skewed_sum_rec():
+    return apply_function(skewed_sum().to_recfun(), from_python(list(range(9))))
+
+
+def _skewed_sum_translated():
+    return apply_function(translate(skewed_sum()), from_python(list(range(9))))
+
+
+def _halving_tail_translated():
+    return apply_function(translate(halving_tail()), from_python(100))
+
+
+def _two_or_three_way():
+    return apply_function(two_or_three_way_sum().to_recfun(), from_python(list(range(9))))
+
+
+PROGRAMS = [
+    ("while_double", _while_double),
+    ("map_square", _map_square),
+    ("map_closure", _map_closure),
+    ("case_let", _case_let),
+    ("seq_ops", _seq_ops),
+    ("reduce_add", _reduce_add),
+    ("iota", _iota),
+    ("m_route", _m_route),
+    ("quicksort_rec", _quicksort_rec),
+    ("quicksort_translated", _quicksort_translated),
+    ("mergesort", _mergesort),
+    ("merge", _merge),
+    ("balanced_sum_rec", _balanced_sum_rec),
+    ("balanced_sum_translated", _balanced_sum_translated),
+    ("skewed_sum_rec", _skewed_sum_rec),
+    ("skewed_sum_translated", _skewed_sum_translated),
+    ("halving_tail_translated", _halving_tail_translated),
+    ("two_or_three_way", _two_or_three_way),
+]

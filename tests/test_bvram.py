@@ -44,6 +44,39 @@ def test_arith_length_mismatch_is_error():
         _single_instr_run(isa.Arith(dst=2, op="+", a=0, b=1), [[1, 2], [1]])
 
 
+def test_arith_division_by_zero_is_error():
+    with pytest.raises(BVRAMError, match="division by zero"):
+        _single_instr_run(isa.Arith(dst=2, op="/", a=0, b=1), [[1, 2], [1, 0]])
+    with pytest.raises(BVRAMError, match="modulo by zero"):
+        _single_instr_run(isa.Arith(dst=2, op="mod", a=0, b=1), [[1, 2], [1, 0]])
+
+
+def test_arith_add_overflow_is_error():
+    """The paper treats out-of-range results as undefined: int64 wrap must raise."""
+    big = 2**62
+    with pytest.raises(BVRAMError, match="overflow"):
+        _single_instr_run(isa.Arith(dst=2, op="+", a=0, b=1), [[big, 1], [big, 1]])
+    # the same magnitudes are fine when they do not wrap
+    r = _single_instr_run(isa.Arith(dst=2, op="+", a=0, b=1), [[big, 1], [0, 1]])
+    assert r.registers[2].tolist() == [big, 2]
+
+
+def test_arith_mul_overflow_is_error():
+    big = 2**32
+    with pytest.raises(BVRAMError, match="overflow"):
+        _single_instr_run(isa.Arith(dst=2, op="*", a=0, b=1), [[big, 2], [big, 3]])
+    # a wrap that lands positive again must still be caught (not only sign flips)
+    with pytest.raises(BVRAMError, match="overflow"):
+        _single_instr_run(isa.Arith(dst=2, op="*", a=0, b=1), [[2**62], [4]])
+    r = _single_instr_run(isa.Arith(dst=2, op="*", a=0, b=1), [[2**31, 2], [2**31, 3]])
+    assert r.registers[2].tolist() == [2**62, 6]
+
+
+def test_arith_mul_by_zero_never_overflows():
+    r = _single_instr_run(isa.Arith(dst=2, op="*", a=0, b=1), [[0, 0], [2**62, 1]])
+    assert r.registers[2].tolist() == [0, 0]
+
+
 def test_sequence_instructions():
     r = _single_instr_run(isa.AppendI(dst=2, a=0, b=1), [[1, 2], [3]])
     assert r.registers[2].tolist() == [1, 2, 3]

@@ -1,0 +1,126 @@
+"""Deep-program regression suite for the iterative evaluation engine.
+
+Every program here crashes (RecursionError) or corrupts interpreter state on
+the seed's recursive tree-walking evaluator, whose call depth was
+``AST depth x loop/recursion depth`` and which papered over that with an
+import-time ``sys.setrecursionlimit(100_000)``.  The iterative engine keeps
+its frames on the heap, so all of these run with the *default* Python
+recursion limit (1000) in force — pinned by the fixture below.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.nsc import apply_function, evaluate, from_python, to_python
+from repro.nsc import builder as B
+from repro.nsc.types import NAT, seq
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture()
+def default_recursion_limit():
+    """Force the stock CPython limit so the engine cannot lean on a raised one."""
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+def test_import_does_not_touch_recursion_limit():
+    """Importing the evaluator must not mutate global interpreter state.
+
+    Runs in a subprocess because this test process has long imported the
+    module; the seed's import-time ``sys.setrecursionlimit(100_000)`` is gone.
+    """
+    code = (
+        "import sys; base = sys.getrecursionlimit(); "
+        "import repro.nsc.eval; "
+        "assert sys.getrecursionlimit() == base, sys.getrecursionlimit()"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_while_loop_50k_iterations(default_recursion_limit):
+    pred = B.lam("x", NAT, B.gt(B.v("x"), 0))
+    body = B.lam("x", NAT, B.sub(B.v("x"), 1))
+    out = apply_function(B.while_(pred, body), from_python(50_000))
+    assert to_python(out.value) == 0
+    # one iteration = 1 step + pred + body; T grows linearly in the count
+    assert out.time > 50_000
+
+
+def test_nested_let_chain_depth_5000(default_recursion_limit):
+    depth = 5_000
+    bindings = [("x0", B.c(1))]
+    for i in range(1, depth):
+        bindings.append((f"x{i}", B.add(B.v(f"x{i-1}"), 1)))
+    prog = B.lets(bindings, B.v(f"x{depth-1}"))
+    out = evaluate(prog)
+    assert to_python(out.value) == depth
+    assert out.time >= depth
+
+
+def test_unbalanced_maprec_tree_depth_2000(default_recursion_limit):
+    # f(n) = if n <= 1 then n else first(r) + last(r)
+    #        where r = map(f)([1, n - 1])
+    # — an unbalanced tree: one leaf child and one deep child per level.
+    from repro.nsc import lib
+
+    r = B.gensym("r")
+    f = B.recfun(
+        "f",
+        "n",
+        NAT,
+        B.if_(
+            B.le(B.v("n"), 1),
+            B.v("n"),
+            B.let(
+                r,
+                B.app(
+                    B.map_(B.lam("m", NAT, B.reccall("f", B.v("m")))),
+                    B.append(B.single(B.c(1)), B.single(B.sub(B.v("n"), 1))),
+                ),
+                B.add(B.app(lib.first(NAT), B.v(r)), B.app(lib.last(NAT), B.v(r))),
+            ),
+        ),
+        NAT,
+    )
+    out = apply_function(f, from_python(2_000))
+    # every level contributes the leaf 1; the base case contributes 1
+    assert to_python(out.value) == 2_000
+    # the two children run in parallel: T is linear in depth, not in 2^depth
+    assert out.time < 200_000
+
+
+def test_quicksort_on_sorted_input_deep_tree(default_recursion_limit):
+    """Sorted input degenerates quicksort's tree to depth n (the E3 worst case)."""
+    from repro.algorithms.quicksort import run_quicksort_sorted
+
+    out = run_quicksort_sorted(150)
+    assert to_python(out.value) == list(range(150))
+
+
+def test_deep_while_matches_shallow_cost_shape(default_recursion_limit):
+    """T/W of a counting loop stay exactly linear: no hidden re-charging at depth."""
+    pred = B.lam("x", NAT, B.gt(B.v("x"), 0))
+    body = B.lam("x", NAT, B.sub(B.v("x"), 1))
+    w = B.while_(pred, body)
+    small = apply_function(w, from_python(100))
+    big = apply_function(w, from_python(10_000))
+    per_iter_t = (big.time - small.time) / (10_000 - 100)
+    per_iter_w = (big.work - small.work) / (10_000 - 100)
+    # 13 T-units and 26 W-units per iteration for this loop shape
+    assert per_iter_t == pytest.approx(13.0)
+    assert per_iter_w == pytest.approx(26.0)

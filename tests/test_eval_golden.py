@@ -1,0 +1,43 @@
+"""Golden regression test for the Definition 3.1 cost model.
+
+The (value, T, W) triples below were recorded from the original recursive
+evaluator (with its free-variable memo recomputed per node — the id()-keyed
+cache of the seed could serve a *stale* free-variable set after a dead AST
+node's id was recycled, silently undercharging closures; the iterative engine
+fixes that).  Definition 3.1 is deterministic, so any divergence here is an
+engine bug, not measurement noise.
+"""
+
+import pytest
+
+from golden_eval_programs import PROGRAMS
+from repro.nsc import to_python
+
+GOLDEN = {
+    "while_double": (128, 100, 200),
+    "map_square": ([1, 4, 9, 16, 25, 36, 49], 5, 65),
+    "map_closure": ([32, 32, 32], 4, 314),
+    "case_let": (9, 10, 19),
+    "seq_ops": (([5, 1, 4, 2, 3, 9], [(1, 0), (2, 1)]), 51, 265),
+    "reduce_add": (136, 584, 9291),
+    "iota": ([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12], 239, 3280),
+    "m_route": ([10, 10, 30, 30, 30], 473, 3790),
+    "quicksort_rec": ([0, 1, 2, 3, 4, 5, 6, 7, 8, 9], 723, 12955),
+    "quicksort_translated": ([1, 1, 2, 3, 4, 5, 6, 9], 2178, 44897),
+    "mergesort": ([1, 2, 3, 4, 5, 7, 8, 9], 2021, 30940),
+    "merge": ([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 16], 1357, 28608),
+    "balanced_sum_rec": (66, 693, 9769),
+    "balanced_sum_translated": (66, 1534, 29114),
+    "skewed_sum_rec": (36, 1773, 14692),
+    "skewed_sum_translated": (36, 3678, 53227),
+    "halving_tail_translated": (1, 1260, 14273),
+    "two_or_three_way": (36, 617, 6872),
+}
+
+
+@pytest.mark.parametrize("name,thunk", PROGRAMS, ids=[n for n, _ in PROGRAMS])
+def test_golden_value_time_work(name, thunk):
+    want_value, want_t, want_w = GOLDEN[name]
+    out = thunk()
+    assert to_python(out.value) == want_value
+    assert (out.time, out.work) == (want_t, want_w)
