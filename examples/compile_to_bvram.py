@@ -47,6 +47,22 @@ def main() -> None:
     filt = run_program(filter_leq_program(10), [[3, 15, 0, 10, 99, 7]])
     print("\nBVRAM filter(<=10) of [3,15,0,10,99,7] =", filt.output(0))
 
+    # Theorem 7.1 as a program: the same filter, but *compiled* from its NSC
+    # source (flatten . map . if) instead of hand-written machine code.
+    from repro.compiler import compile_nsc
+    from repro.nsc import builder as B
+    from repro.nsc import lib
+    from repro.nsc.types import NAT
+
+    z = B.gensym("z")
+    nsc_filter = lib.filter_fn(B.lam(z, NAT, B.le(B.v(z), 10)), NAT)
+    prog = compile_nsc(nsc_filter, eps=0.5)
+    value, run = prog.run([3, 15, 0, 10, 99, 7])
+    print(
+        f"compile_nsc(filter)     of [3,15,0,10,99,7] = {value}   "
+        f"T'={run.time} W'={run.work}  ({len(prog)} instructions)"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -10,18 +10,16 @@ Subpackages
     the machine-independent time/work cost model of Definition 3.1.
 ``maprec``
     Map-recursion (Definition 4.1) and its translation into NSC (Theorem 4.2).
-``nsa``
-    The variable-free Nested Sequence Algebra (Appendix C) and the
-    NSC -> NSA translation.
 ``sa``
-    The flat Sequence Algebra (Appendix D), the SEQ segment encoding, the Map
-    Lemma (Lemma 7.2) and the NSA -> SA flattening (Proposition 7.4).
+    The flat Sequence Algebra: the SEQ segment encoding and the Map Lemma
+    (Lemma 7.2) as operational segmented-vector schemes.
+``compiler``
+    The Section 7 compilation chain (Theorem 7.1): NSC -> NSA variable
+    elimination, flattening onto segment descriptors, and BVRAM code
+    generation, with a differential-testing harness against the interpreter.
 ``bvram``
-    The Bounded Vector Random Access Machine (Section 2) and the SA -> BVRAM
-    code generator (Proposition 7.5).
-``vram``
-    An unbounded-register VRAM baseline (Blelloch-style), used for the
-    ablation experiments.
+    The Bounded Vector Random Access Machine (Section 2): the ISA (including
+    the segmented extensions the compiler emits) and the costed interpreter.
 ``butterfly``
     Butterfly-network implementation of the BVRAM instructions with oblivious
     routing (Proposition 2.1).
@@ -32,8 +30,6 @@ Subpackages
     Figures 1-3), quicksort, permutation routines, plus Python oracles.
 ``analysis``
     Log-log slope fitting and report tables used by the benchmark harness.
-``core``
-    The end-to-end compilation pipeline and the top-level convenience API.
 """
 
 from importlib import metadata as _metadata

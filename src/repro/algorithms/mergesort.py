@@ -397,6 +397,80 @@ def mergesort_recfun() -> A.RecFun:
 
 
 # ---------------------------------------------------------------------------
+# The g-schema mergesort (Section 4's divide-and-conquer normal form)
+# ---------------------------------------------------------------------------
+
+
+def mergesort_def() -> "MapRecursiveDef":
+    """Textbook mergesort as a :class:`~repro.maprec.schema.MapRecursiveDef`.
+
+    Section 4's ``g`` schema with ``d(x) = [first half, second half]`` and
+    ``c(r1, r2) = direct_merge(r1, r2)`` (the Figure 2 merge, which is
+    correct for blocks of any size; Valiant's doubly recursive ``merge`` of
+    Figure 1 only makes it *faster*).  Unlike :func:`mergesort_recfun` this
+    form contains a single recursion, so the Theorem 4.2 translation — and
+    from there the Section 7 compiler (:mod:`repro.compiler`) — applies to
+    it directly: it is the mergesort leg of the end-to-end compilation chain.
+    """
+    from ..maprec.schema import MapRecursiveDef
+
+    px = B.gensym("x")
+    pred = B.lam(px, NSEQ, B.le(B.length_(B.v(px)), 1))
+    bx = B.gensym("x")
+    base = B.lam(bx, NSEQ, B.v(bx))
+
+    dx, n = B.gensym("x"), B.gensym("n")
+    divide = B.lam(
+        dx,
+        NSEQ,
+        B.let(
+            n,
+            B.length_(B.v(dx)),
+            B.split_(
+                B.v(dx),
+                B.append(
+                    B.single(B.sub(B.v(n), B.div(B.v(n), 2))),
+                    B.single(B.div(B.v(n), 2)),
+                ),
+            ),
+        ),
+    )
+
+    cp = B.gensym("p")
+    combine = B.lam(
+        cp,
+        prod(NSEQ, NSEQ2),
+        B.app(
+            direct_merge_fn(),
+            B.pair(
+                B.app(lib.first(NSEQ), B.snd(B.v(cp))),
+                B.app(lib.last(NSEQ), B.snd(B.v(cp))),
+            ),
+        ),
+    )
+    cg = B.gensym("rs")
+    combine_simple = B.lam(
+        cg,
+        NSEQ2,
+        B.app(
+            direct_merge_fn(),
+            B.pair(B.app(lib.first(NSEQ), B.v(cg)), B.app(lib.last(NSEQ), B.v(cg))),
+        ),
+    )
+
+    return MapRecursiveDef(
+        name="mergesort_g",
+        dom=NSEQ,
+        cod=NSEQ,
+        pred=pred,
+        base=base,
+        divide=divide,
+        combine=combine,
+        combine_simple=combine_simple,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Convenience runners (used by tests, examples and benchmarks)
 #
 # Evaluation depth is bounded only by memory (the engine is an explicit-stack

@@ -18,6 +18,23 @@ is exactly the paper's:
 * ``goto`` / ``goto_if_empty`` — unconditional / conditional jumps
 * ``halt``
 
+The NSC->BVRAM compiler (:mod:`repro.compiler`) additionally needs the small
+family of *segmented* operations that Section 7's flattening produces — each
+of them is an oblivious, monotone data movement (or a per-segment scan), so
+Proposition 2.1's butterfly implementation extends to them:
+
+* ``un_arith``        — ``Vi <- op(Vj)`` elementwise, ``op`` in {log2, sqrt}
+* ``flag_merge``      — ``Vi <- merge(Vf, Vj, Vk)``: the inverse of ``select``
+  (route ``Vj`` to the non-zero positions of the flag vector ``Vf`` and ``Vk``
+  to the zero positions, preserving order — a segmented route)
+* ``seg_scan``        — ``Vi <- seg-scan(op, Vj, Vs)``: exclusive scan of
+  ``Vj`` restarting at every segment boundary of the descriptor ``Vs``
+* ``seg_reduce``      — ``Vi <- seg-reduce(op, Vj, Vs)``: one ``op``-reduction
+  per segment of ``Vj`` under descriptor ``Vs``
+* ``trap``            — raise :class:`~repro.bvram.machine.BVRAMError`; the
+  compiler jumps here when a program's result is undefined (zip of unequal
+  lengths, ``get`` of a non-singleton, the error term Omega, ...)
+
 There is deliberately **no general permutation** instruction; Theorem 7.1
 shows it is not needed to compile NSC efficiently, and Proposition 2.1 shows
 every instruction above needs only oblivious routing on a butterfly.
@@ -33,6 +50,12 @@ from typing import Optional, Sequence
 
 #: arithmetic operations available to the ``arith`` instruction (the set Sigma)
 ARITH_OPS = ("+", "-", "*", "/", "mod", ">>", "min", "max", "eq", "le", "lt")
+
+#: unary arithmetic available to the ``un_arith`` instruction
+UN_ARITH_OPS = ("log2", "sqrt")
+
+#: operations available to the segmented scan / reduce instructions
+SEG_OPS = ("+", "max")
 
 
 class Instruction:
@@ -201,6 +224,103 @@ class Select(Instruction):
 
     def registers_written(self) -> tuple[int, ...]:
         return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class UnArith(Instruction):
+    """``V[dst] <- op(V[src])`` elementwise; ``op`` in {log2, sqrt}."""
+
+    dst: int
+    op: str
+    src: int
+
+    def __post_init__(self) -> None:
+        if self.op not in UN_ARITH_OPS:
+            raise ValueError(f"unknown unary arithmetic op {self.op!r}")
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class FlagMerge(Instruction):
+    """``V[dst] <- merge(V[flags], V[a], V[b])`` — the inverse of ``select``.
+
+    Output position ``i`` takes the next unconsumed element of ``V[a]`` when
+    ``V[flags][i]`` is non-zero and of ``V[b]`` otherwise.  Requires
+    ``len(a) + len(b) == len(flags)`` and ``len(a) ==`` the number of non-zero
+    flags.  Order-preserving and oblivious (a monotone route).
+    """
+
+    dst: int
+    flags: int
+    a: int
+    b: int
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.flags, self.a, self.b)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class SegScan(Instruction):
+    """``V[dst] <- seg-scan(op, V[data], V[segments])`` (exclusive, per segment).
+
+    The scan restarts at every segment boundary; the identity (0 for both
+    ``+`` and ``max`` on naturals) seeds each segment.  Requires
+    ``sum(segments) == len(data)``.
+    """
+
+    dst: int
+    op: str
+    data: int
+    segments: int
+
+    def __post_init__(self) -> None:
+        if self.op not in SEG_OPS:
+            raise ValueError(f"unknown segmented op {self.op!r}")
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.data, self.segments)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class SegReduce(Instruction):
+    """``V[dst] <- seg-reduce(op, V[data], V[segments])``: one result per segment.
+
+    Empty segments reduce to the identity (0).  Requires
+    ``sum(segments) == len(data)``.
+    """
+
+    dst: int
+    op: str
+    data: int
+    segments: int
+
+    def __post_init__(self) -> None:
+        if self.op not in SEG_OPS:
+            raise ValueError(f"unknown segmented op {self.op!r}")
+
+    def registers_read(self) -> tuple[int, ...]:
+        return (self.data, self.segments)
+
+    def registers_written(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True, slots=True)
+class Trap(Instruction):
+    """Raise ``BVRAMError(message)`` — the compiled form of an undefined result."""
+
+    message: str = "undefined BVRAM result"
 
 
 @dataclass(frozen=True, slots=True)

@@ -87,7 +87,9 @@ def _arith(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
             raise BVRAMError("modulo by zero")
         return a % b
     if op == ">>":
-        return a >> b
+        # numpy shifts by >= 64 bits are undefined behaviour; mathematically
+        # floor(a / 2**b) = 0 for any natural a < 2**63 once b >= 63
+        return np.where(b >= 63, 0, a >> np.minimum(b, 62))
     if op == "min":
         return np.minimum(a, b)
     if op == "max":
@@ -99,6 +101,118 @@ def _arith(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if op == "lt":
         return (a < b).astype(np.int64)
     raise BVRAMError(f"unknown arithmetic op {op!r}")
+
+
+def _un_arith(op: str, a: np.ndarray) -> np.ndarray:
+    if op == "log2":
+        # floor(log2(a)); log2(0) = 0 by the NSC convention
+        out = np.zeros_like(a)
+        pos = a > 0
+        if pos.any():
+            out[pos] = np.floor(np.log2(a[pos])).astype(np.int64)
+            # float rounding near powers of two: fix up exactly.  A natural
+            # < 2**63 has floor(log2) <= 62, so out >= 63 (np.log2(2**63 - 1)
+            # rounds to exactly 63.0) is always one too big.
+            too_big = pos & ((out >= 63) | ((np.int64(1) << np.minimum(out, 62)) > a))
+            out[too_big] -= 1
+        return out
+    if op == "sqrt":
+        out = np.sqrt(a.astype(np.float64)).astype(np.int64)
+        # isqrt semantics: largest k with k*k <= a (fix float rounding)
+        out = np.where(out * out > a, out - 1, out)
+        out = np.where((out + 1) * (out + 1) <= a, out + 1, out)
+        return out
+    raise BVRAMError(f"unknown unary arithmetic op {op!r}")
+
+
+def flag_merge_vec(flags: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Order-preserving merge of ``a``/``b`` routed by the non-zero flags."""
+    n_true = int(np.count_nonzero(flags))
+    if a.size != n_true:
+        raise BVRAMError(
+            f"flag_merge: {n_true} non-zero flags but the true-branch register has length {a.size}"
+        )
+    if a.size + b.size != flags.size:
+        raise BVRAMError(
+            f"flag_merge: flags have length {flags.size} but the branches "
+            f"have total length {a.size + b.size}"
+        )
+    out = np.empty(flags.size, dtype=np.int64)
+    mask = flags != 0
+    out[mask] = a
+    out[~mask] = b
+    return out
+
+
+def _check_segments(data: np.ndarray, segments: np.ndarray, opcode: str) -> None:
+    if segments.size and int(segments.min()) < 0:
+        raise BVRAMError(f"{opcode}: segment descriptor holds negative lengths")
+    if int(segments.sum()) != data.size:
+        raise BVRAMError(
+            f"{opcode}: segment descriptor sums to {int(segments.sum())} "
+            f"but the data register has length {data.size}"
+        )
+
+
+def _checked_cumsum(data: np.ndarray, opcode: str) -> np.ndarray:
+    """Inclusive int64 cumsum of naturals, trapping on overflow.
+
+    Addends are < 2**63, so a wrapped partial sum shows up as a *decrease*
+    (the new value is the true one minus 2**64) — monotonicity is an exact
+    overflow test, matching the BVRAMError that ``arith +`` raises.
+    """
+    with np.errstate(over="ignore"):
+        cs = np.cumsum(data)
+    if cs.size and (int(cs[0]) < 0 or bool(np.any(cs[1:] < cs[:-1]))):
+        raise BVRAMError(f"overflow in {opcode}: partial sum exceeds the int64 register width")
+    return cs
+
+
+def seg_scan_vec(op: str, data: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Exclusive per-segment scan (identity 0) of ``data`` under ``segments``."""
+    _check_segments(data, segments, "seg_scan")
+    if data.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if op == "+":
+        cs = _checked_cumsum(data, "seg_scan +")
+        running = np.concatenate([[0], cs[:-1]])
+        starts = np.cumsum(segments) - segments  # first data index of each segment
+        nonempty = segments > 0
+        base = np.repeat(running[starts[nonempty]], segments[nonempty])
+        return running - base
+    if op == "max":
+        # exclusive running max per segment (correct but simple; vectors are
+        # the hot path of the *simulated* machine, not of this host code)
+        out = np.zeros(data.size, dtype=np.int64)
+        pos = 0
+        for seg_len in segments.tolist():
+            if seg_len:
+                seg = data[pos : pos + seg_len]
+                if seg_len > 1:
+                    out[pos + 1 : pos + seg_len] = np.maximum.accumulate(seg[:-1])
+                pos += seg_len
+        return out
+    raise BVRAMError(f"unknown segmented op {op!r}")
+
+
+def seg_reduce_vec(op: str, data: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Per-segment reduction of ``data`` under ``segments`` (identity 0)."""
+    _check_segments(data, segments, "seg_reduce")
+    if segments.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if op == "+":
+        if data.size == 0:
+            return np.zeros(segments.size, dtype=np.int64)
+        total = np.concatenate([[0], _checked_cumsum(data, "seg_reduce +")])
+        ends = np.cumsum(segments)
+        return (total[ends] - total[ends - segments]).astype(np.int64)
+    if op == "max":
+        out = np.zeros(segments.size, dtype=np.int64)
+        if data.size:
+            ids = np.repeat(np.arange(segments.size), segments)
+            np.maximum.at(out, ids, data)
+        return out
+    raise BVRAMError(f"unknown segmented op {op!r}")
 
 
 def bm_route_vec(data: np.ndarray, counts: np.ndarray, bound: np.ndarray) -> np.ndarray:
@@ -228,6 +342,8 @@ class BVRAM:
                 self._charge("load_empty", instr)
                 continue
             if isinstance(instr, isa.LoadConst):
+                if instr.value < 0:
+                    raise BVRAMError("load_const: BVRAM registers hold natural numbers")
                 self.registers[instr.dst] = np.array([instr.value], dtype=np.int64)
                 self._charge("load_const", instr)
                 continue
@@ -271,6 +387,33 @@ class BVRAM:
                 self.registers[instr.dst] = src[src != 0]
                 self._charge("select", instr)
                 continue
+            if isinstance(instr, isa.UnArith):
+                self.registers[instr.dst] = _un_arith(instr.op, self.registers[instr.src])
+                self._charge(f"un_arith:{instr.op}", instr)
+                continue
+            if isinstance(instr, isa.FlagMerge):
+                self.registers[instr.dst] = flag_merge_vec(
+                    self.registers[instr.flags],
+                    self.registers[instr.a],
+                    self.registers[instr.b],
+                )
+                self._charge("flag_merge", instr)
+                continue
+            if isinstance(instr, isa.SegScan):
+                self.registers[instr.dst] = seg_scan_vec(
+                    instr.op, self.registers[instr.data], self.registers[instr.segments]
+                )
+                self._charge(f"seg_scan:{instr.op}", instr)
+                continue
+            if isinstance(instr, isa.SegReduce):
+                self.registers[instr.dst] = seg_reduce_vec(
+                    instr.op, self.registers[instr.data], self.registers[instr.segments]
+                )
+                self._charge(f"seg_reduce:{instr.op}", instr)
+                continue
+            if isinstance(instr, isa.Trap):
+                self._charge("trap", instr)
+                raise BVRAMError(instr.message)
             raise BVRAMError(f"unknown instruction {instr!r}")
 
         return RunResult(

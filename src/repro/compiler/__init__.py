@@ -1,0 +1,137 @@
+"""The NSC -> BVRAM compiler: Section 7's compilation chain, end to end.
+
+The paper's headline theorem (Theorem 7.1) states that every NSC program of
+time complexity ``T`` and work complexity ``W`` can be executed on a Bounded
+Vector RAM in time ``T' = O(T)`` and work ``W' = O(W^(1+eps))`` for any fixed
+``eps > 0``.  This package implements that compilation as three passes, each
+mapped to its place in Section 7:
+
+Pass 1 — :mod:`repro.compiler.nsa` (*variable elimination*, Section 7 step 1)
+    Lowers the NSC AST into **NSA**, a first-order administrative-normal-form
+    IR: lambdas are beta-inlined, ``let`` becomes bindings, every value gets
+    a unique typed name, and ``map`` / ``while`` / ``case`` carry their
+    sub-programs as parameterised blocks with explicit free-variable lists
+    (the closures whose size Definition 3.1 charges at application sites).
+
+Pass 2 — :mod:`repro.compiler.flatten` (*flattening*, Section 7.1 + Lemma 7.2)
+    Maps every nested-sequence value onto segment-descriptor vectors (the
+    ``SEQ(t)`` encoding borrowed from [Ble90]) and lowers each NSA operation
+    to segmented vector code.  ``map`` becomes a *context push* — the body's
+    vector code is unchanged at any nesting depth, which is what makes
+    ``T' = O(T)``.  Conditionals evaluate both branches on order-preserving
+    packed sub-contexts and recombine with a flag-merge route, so no general
+    permutation is ever needed (the point of Theorem 7.1).  The hard case,
+    ``map(while(p, g))``, uses the **Lemma 7.2 staged scheme**: elements stay
+    in relative order in a working set that is compacted only when the live
+    count falls by the factor ``n^eps``, bounding the re-touching overhead by
+    ``O(n^eps * W)`` with a register count independent of ``eps`` (the
+    operational model of :mod:`repro.sa.flattening`, here as machine code).
+
+Pass 3 — :mod:`repro.compiler.codegen` (*code generation*, Section 2 target)
+    Emits :mod:`repro.bvram.isa` instructions — extended with the segmented
+    ops (``flag_merge``, ``seg_scan``, ``seg_reduce``, ``un_arith``,
+    ``trap``) that Proposition 2.1's butterfly argument also covers — and
+    marshals S-objects to and from the canonical flat register layout.
+
+Front door::
+
+    from repro.compiler import compile_nsc
+    prog = compile_nsc(fn, eps=0.5)       # fn : an NSC Function
+    value, run = prog.run(from_python([3, 1, 2]))
+    print(value, run.time, run.work)      # T' and W' per the Section 2 costs
+
+``eps`` is realised at run time as ``n^eps`` via repeated integer square
+roots, so it is quantised to ``2**-k`` (``1, 0.5, 0.25, ...``).  Programs
+using named recursion must first pass through the Theorem 4.2 translation
+(:func:`repro.maprec.translate.translate`) — together the two close the
+paper's chain from recursive NSC all the way down to BVRAM instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..bvram import BVRAM, RunResult
+from ..bvram.isa import Program
+from ..nsc import ast as A
+from ..nsc.typecheck import infer_function
+from ..nsc.types import Type
+from ..nsc.values import Value, from_python
+from .codegen import Emitter, decode_values, encode_values, field_count
+from .flatten import Ctx, Flattener, rep_from_regs, rep_regs
+from .nsa import CompileError, block_size, hoist_projections, lower_function
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "compile_nsc",
+]
+
+
+@dataclass
+class CompiledProgram(Program):
+    """A BVRAM :class:`~repro.bvram.isa.Program` plus its NSC calling convention."""
+
+    dom: Optional[Type] = None
+    cod: Optional[Type] = None
+    eps: float = 0.5
+    nsa_size: int = 0
+
+    def encode_input(self, value: object) -> list[list[int]]:
+        """Marshal one S-object (or plain Python data) into the input registers."""
+        assert self.dom is not None
+        return encode_values([from_python(value)], self.dom)
+
+    def decode_output(self, registers: Sequence) -> Value:
+        """Rebuild the result S-object from the output registers."""
+        assert self.cod is not None
+        fields = [list(map(int, registers[i])) for i in range(self.n_outputs)]
+        return decode_values(fields, self.cod, 1)[0]
+
+    def run(self, value: object, max_steps: int = 10_000_000) -> tuple[Value, RunResult]:
+        """Execute on a fresh machine; returns (result S-object, T/W RunResult)."""
+        machine = BVRAM(self.n_registers)
+        res = machine.run(self, self.encode_input(value), max_steps=max_steps)
+        return self.decode_output(res.registers), res
+
+
+def compile_nsc(fn: A.Function, eps: float = 0.5) -> CompiledProgram:
+    """Compile a (typecheckable) NSC function to an executable BVRAM program.
+
+    ``eps`` trades work for register pressure per Lemma 7.2 (``W' =
+    O(W^(1+eps))``); it is quantised to ``2**-k``.  Raises
+    :class:`~repro.nsc.typecheck.NSCTypeError` on ill-typed input and
+    :class:`CompileError` on programs outside the supported fragment
+    (named recursion, equality on non-scalar types, sequence-typed closures
+    under ``map``).
+    """
+    ft = infer_function(fn)
+    block = hoist_projections(lower_function(fn, ft.dom))
+
+    n_in = field_count(ft.dom)
+    em = Emitter(reserved=n_in)
+    param = rep_from_regs(ft.dom, iter(range(n_in)))
+    root_tpl = em.load_const(0)  # the root context has width 1
+    fl = Flattener(em, eps)
+    result = fl.compile_block(block, Ctx(root_tpl), {block.params[0]: param})
+
+    out_regs = rep_regs(result)
+    temps = [em.move(r) for r in out_regs]  # two-phase: outputs may overlap inputs
+    for i, t in enumerate(temps):
+        em.move(t, dst=i)
+    em.halt()
+
+    prog = CompiledProgram(
+        instructions=em.instructions,
+        labels=em.labels,
+        n_registers=max(em.n_regs, 1),
+        n_inputs=n_in,
+        n_outputs=len(out_regs),
+        dom=ft.dom,
+        cod=ft.cod,
+        eps=eps,
+        nsa_size=block_size(block),
+    )
+    prog.validate()
+    return prog

@@ -1,0 +1,267 @@
+"""Pass 3 of the NSC->BVRAM compiler: instruction emission and marshalling.
+
+The :class:`Emitter` owns the three resources a BVRAM program is made of —
+registers, labels and the instruction list — and exposes one tiny wrapper per
+ISA instruction.  The flattening pass (:mod:`repro.compiler.flatten`) calls
+these wrappers; everything it allocates is a *final* machine register (the
+BVRAM allows any fixed register count per program, cf. Section 2's
+``r``-register machines), so no separate register-allocation pass is needed
+for correctness.
+
+The module also implements the input/output marshalling that connects NSC
+S-objects to the flat register encoding of Section 7.1: a value of type ``t``
+occupies ``field_count(t)`` registers, laid out in the canonical pre-order
+
+* ``N`` / ``B``-tag first,
+* products left then right,
+* sums: tag vector, then the left payloads (packed over the tag-true
+  positions), then the right payloads,
+* sequences: segment descriptor, then the element fields over the
+  concatenated data space.
+
+``encode_values`` / ``decode_values`` convert between a *batch* of S-objects
+and that register image; width 1 gives the single-value convention used by
+``CompiledProgram.run``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bvram import isa
+from ..nsc.values import (
+    UNIT_VALUE,
+    Value,
+    VInl,
+    VInr,
+    VNat,
+    VPair,
+    VSeq,
+    VUnit,
+)
+from ..nsc.types import NatType, ProdType, SeqType, SumType, Type, UnitType
+from .nsa import CompileError
+
+
+class Emitter:
+    """Register allocator + label book-keeping + instruction stream."""
+
+    def __init__(self, reserved: int = 0) -> None:
+        self.instructions: list[isa.Instruction] = []
+        self.labels: dict[str, int] = {}
+        self.n_regs = reserved
+        self._label_counter = 0
+
+    # -- registers / labels -------------------------------------------------
+
+    def reg(self) -> int:
+        r = self.n_regs
+        self.n_regs += 1
+        return r
+
+    def new_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def mark(self, label: str) -> None:
+        if label in self.labels:
+            raise CompileError(f"duplicate label {label!r}")
+        self.labels[label] = len(self.instructions)
+
+    def emit(self, instr: isa.Instruction) -> None:
+        self.instructions.append(instr)
+
+    # -- one wrapper per instruction (each returns its destination) ---------
+
+    def move(self, src: int, dst: int | None = None) -> int:
+        dst = self.reg() if dst is None else dst
+        self.emit(isa.Move(dst=dst, src=src))
+        return dst
+
+    def arith(self, op: str, a: int, b: int) -> int:
+        dst = self.reg()
+        self.emit(isa.Arith(dst=dst, op=op, a=a, b=b))
+        return dst
+
+    def un_arith(self, op: str, src: int) -> int:
+        dst = self.reg()
+        self.emit(isa.UnArith(dst=dst, op=op, src=src))
+        return dst
+
+    def load_const(self, value: int) -> int:
+        dst = self.reg()
+        self.emit(isa.LoadConst(dst=dst, value=value))
+        return dst
+
+    def load_empty(self) -> int:
+        dst = self.reg()
+        self.emit(isa.LoadEmpty(dst=dst))
+        return dst
+
+    def append(self, a: int, b: int) -> int:
+        dst = self.reg()
+        self.emit(isa.AppendI(dst=dst, a=a, b=b))
+        return dst
+
+    def length(self, src: int) -> int:
+        dst = self.reg()
+        self.emit(isa.LengthI(dst=dst, src=src))
+        return dst
+
+    def enumerate_(self, src: int) -> int:
+        dst = self.reg()
+        self.emit(isa.EnumerateI(dst=dst, src=src))
+        return dst
+
+    def bm_route(self, data: int, counts: int, bound: int) -> int:
+        dst = self.reg()
+        self.emit(isa.BmRoute(dst=dst, data=data, counts=counts, bound=bound))
+        return dst
+
+    def sbm_route(self, bound: int, counts: int, data: int, segments: int) -> int:
+        dst = self.reg()
+        self.emit(isa.SbmRoute(dst=dst, bound=bound, counts=counts, data=data, segments=segments))
+        return dst
+
+    def select(self, src: int) -> int:
+        dst = self.reg()
+        self.emit(isa.Select(dst=dst, src=src))
+        return dst
+
+    def flag_merge(self, flags: int, a: int, b: int) -> int:
+        dst = self.reg()
+        self.emit(isa.FlagMerge(dst=dst, flags=flags, a=a, b=b))
+        return dst
+
+    def seg_scan(self, op: str, data: int, segments: int) -> int:
+        dst = self.reg()
+        self.emit(isa.SegScan(dst=dst, op=op, data=data, segments=segments))
+        return dst
+
+    def seg_reduce(self, op: str, data: int, segments: int) -> int:
+        dst = self.reg()
+        self.emit(isa.SegReduce(dst=dst, op=op, data=data, segments=segments))
+        return dst
+
+    def goto(self, label: str) -> None:
+        self.emit(isa.Goto(label=label))
+
+    def goto_if_empty(self, label: str, src: int) -> None:
+        self.emit(isa.GotoIfEmpty(label=label, src=src))
+
+    def trap(self, message: str) -> None:
+        self.emit(isa.Trap(message=message))
+
+    def halt(self) -> None:
+        self.emit(isa.Halt())
+
+
+# ---------------------------------------------------------------------------
+# Type -> register-field layout
+# ---------------------------------------------------------------------------
+
+
+def field_count(t: Type) -> int:
+    """Number of flat vector registers a value of type ``t`` occupies."""
+    if isinstance(t, UnitType):
+        return 0
+    if isinstance(t, NatType):
+        return 1
+    if isinstance(t, ProdType):
+        return field_count(t.left) + field_count(t.right)
+    if isinstance(t, SumType):
+        return 1 + field_count(t.left) + field_count(t.right)
+    if isinstance(t, SeqType):
+        return 1 + field_count(t.elem)
+    raise CompileError(f"unknown type {t!r}")
+
+
+def encode_values(values: Sequence[Value], t: Type) -> list[list[int]]:
+    """Encode a batch of same-typed S-objects into the canonical field vectors."""
+    if isinstance(t, UnitType):
+        for v in values:
+            if not isinstance(v, VUnit):
+                raise CompileError(f"expected (), got {v!r}")
+        return []
+    if isinstance(t, NatType):
+        out = []
+        for v in values:
+            if not isinstance(v, VNat):
+                raise CompileError(f"expected a natural, got {v!r}")
+            out.append(v.value)
+        return [out]
+    if isinstance(t, ProdType):
+        fsts, snds = [], []
+        for v in values:
+            if not isinstance(v, VPair):
+                raise CompileError(f"expected a pair, got {v!r}")
+            fsts.append(v.fst)
+            snds.append(v.snd)
+        return encode_values(fsts, t.left) + encode_values(snds, t.right)
+    if isinstance(t, SumType):
+        tags, lefts, rights = [], [], []
+        for v in values:
+            if isinstance(v, VInl):
+                tags.append(1)
+                lefts.append(v.value)
+            elif isinstance(v, VInr):
+                tags.append(0)
+                rights.append(v.value)
+            else:
+                raise CompileError(f"expected an injection, got {v!r}")
+        return [tags] + encode_values(lefts, t.left) + encode_values(rights, t.right)
+    if isinstance(t, SeqType):
+        segs, items = [], []
+        for v in values:
+            if not isinstance(v, VSeq):
+                raise CompileError(f"expected a sequence, got {v!r}")
+            segs.append(len(v))
+            items.extend(v.items)
+        return [segs] + encode_values(items, t.elem)
+    raise CompileError(f"unknown type {t!r}")
+
+
+def decode_values(fields: Sequence[Sequence[int]], t: Type, count: int) -> list[Value]:
+    """Inverse of :func:`encode_values` (``fields`` in canonical order)."""
+    out, rest = _decode(list(fields), t, count)
+    if rest:
+        raise CompileError(f"{len(rest)} unconsumed output fields while decoding {t}")
+    return out
+
+
+def _decode(
+    fields: list[Sequence[int]], t: Type, count: int
+) -> tuple[list[Value], list[Sequence[int]]]:
+    if isinstance(t, UnitType):
+        return [UNIT_VALUE] * count, fields
+    if isinstance(t, NatType):
+        head, rest = fields[0], fields[1:]
+        if len(head) != count:
+            raise CompileError(f"decoding N: expected {count} entries, got {len(head)}")
+        return [VNat(int(x)) for x in head], rest
+    if isinstance(t, ProdType):
+        lefts, rest = _decode(fields, t.left, count)
+        rights, rest = _decode(rest, t.right, count)
+        return [VPair(a, b) for a, b in zip(lefts, rights)], rest
+    if isinstance(t, SumType):
+        tags, rest = fields[0], fields[1:]
+        if len(tags) != count:
+            raise CompileError(f"decoding a sum: expected {count} tags, got {len(tags)}")
+        n_left = sum(1 for x in tags if x)
+        lefts, rest = _decode(rest, t.left, n_left)
+        rights, rest = _decode(rest, t.right, count - n_left)
+        li, ri = iter(lefts), iter(rights)
+        return [VInl(next(li)) if x else VInr(next(ri)) for x in tags], rest
+    if isinstance(t, SeqType):
+        segs, rest = fields[0], fields[1:]
+        if len(segs) != count:
+            raise CompileError(f"decoding a sequence: expected {count} segments, got {len(segs)}")
+        total = int(sum(segs))
+        items, rest = _decode(rest, t.elem, total)
+        out: list[Value] = []
+        pos = 0
+        for s in segs:
+            out.append(VSeq(items[pos : pos + int(s)]))
+            pos += int(s)
+        return out, rest
+    raise CompileError(f"unknown type {t!r}")

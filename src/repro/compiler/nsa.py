@@ -1,0 +1,634 @@
+"""Pass 1 of the NSC->BVRAM compiler: variable elimination into the NSA IR.
+
+Section 7 compiles NSC in three steps; the first ("NSA", the *flat* fragment
+the paper obtains by eliminating variables) is implemented here as a lowering
+of the NSC abstract syntax into a small **first-order, administrative-normal-
+form IR**:
+
+* every intermediate value is bound to a fresh :class:`NVar` (alpha-renaming
+  makes every binder unique, so the later passes never worry about capture);
+* lambda abstraction disappears: ``F(M)`` with ``F`` a literal lambda is
+  beta-inlined (NSC is first order and every function position is a literal,
+  so this is linear — no code duplication);
+* ``let`` blocks become plain bindings;
+* the remaining *functional* constructs — ``map``, ``while`` and ``case`` —
+  carry their sub-programs as :class:`Block` values with explicit parameters
+  and (computed on demand) free-variable lists: exactly the closure record
+  whose size Definition 3.1 charges at each application.
+
+Every :class:`NVar` is annotated with its NSC object type; the lowering
+doubles as a (re-)type-checker and raises :class:`CompileError` on programs
+outside the supported fragment (named recursion must first be removed by the
+Theorem 4.2 translation in :mod:`repro.maprec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..nsc import ast as A
+from ..nsc.types import (
+    BOOL,
+    NAT,
+    UNIT,
+    NatType,
+    ProdType,
+    SeqType,
+    SumType,
+    Type,
+    UnitType,
+)
+
+
+class CompileError(Exception):
+    """Raised when a program lies outside the compiler's supported NSC fragment."""
+
+
+# ---------------------------------------------------------------------------
+# IR definition
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NVar:
+    """A typed IR variable (identified by a globally unique integer)."""
+
+    id: int
+    type: Type
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"%{self.id}:{self.type}"
+
+
+class NOp:
+    """Base class of NSA operations (the right-hand sides of bindings)."""
+
+    __slots__ = ()
+
+    def operands(self) -> tuple["NVar", ...]:
+        return ()
+
+    def blocks(self) -> tuple["Block", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class NConst(NOp):
+    value: int
+
+
+@dataclass(frozen=True)
+class NUnit(NOp):
+    pass
+
+
+@dataclass(frozen=True)
+class NError(NOp):
+    """The error term Omega: evaluating it is undefined."""
+
+
+@dataclass(frozen=True)
+class NBin(NOp):
+    op: str
+    a: NVar
+    b: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class NUn(NOp):
+    op: str
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NEq(NOp):
+    a: NVar
+    b: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class NPair(NOp):
+    a: NVar
+    b: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class NProj(NOp):
+    index: int
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NInl(NOp):
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NInr(NOp):
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NCase(NOp):
+    """``case scrut of inl(x) => left | inr(y) => right`` (each block: 1 param)."""
+
+    scrut: NVar
+    left: "Block"
+    right: "Block"
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.scrut,)
+
+    def blocks(self) -> tuple["Block", ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class NMap(NOp):
+    """Apply ``body`` to every element of ``src`` in parallel."""
+
+    body: "Block"
+    src: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.src,)
+
+    def blocks(self) -> tuple["Block", ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class NWhile(NOp):
+    """``while(pred, body)`` applied to ``init`` (blocks: 1 param each)."""
+
+    pred: "Block"
+    body: "Block"
+    init: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.init,)
+
+    def blocks(self) -> tuple["Block", ...]:
+        return (self.pred, self.body)
+
+
+@dataclass(frozen=True)
+class NEmpty(NOp):
+    pass
+
+
+@dataclass(frozen=True)
+class NSingle(NOp):
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NAppend(NOp):
+    a: NVar
+    b: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class NFlatten(NOp):
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NLength(NOp):
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NGet(NOp):
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NZip(NOp):
+    a: NVar
+    b: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class NEnumerate(NOp):
+    a: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.a,)
+
+
+@dataclass(frozen=True)
+class NSplit(NOp):
+    data: NVar
+    counts: NVar
+
+    def operands(self) -> tuple[NVar, ...]:
+        return (self.data, self.counts)
+
+
+@dataclass(frozen=True)
+class Bind:
+    dst: NVar
+    op: NOp
+
+
+@dataclass(frozen=True)
+class Block:
+    """A first-order sub-program: parameters, a binding list and a result var."""
+
+    params: tuple[NVar, ...]
+    binds: tuple[Bind, ...]
+    result: NVar
+
+
+def block_free_vars(block: Block) -> tuple[NVar, ...]:
+    """Free variables of ``block`` in deterministic (id) order.
+
+    These are exactly the values an implementation must materialise as the
+    block's closure — the quantity the Definition 3.1 application rules add
+    to ``SIZE`` (and, under ``map``, broadcast to every element).
+    """
+    bound: set[int] = {p.id for p in block.params}
+    free: dict[int, NVar] = {}
+
+    def visit(b: Block, outer_bound: set[int]) -> None:
+        local = set(outer_bound)
+        local.update(p.id for p in b.params)
+        for bind in b.binds:
+            op = bind.op
+            for v in op.operands():
+                if v.id not in local:
+                    free.setdefault(v.id, v)
+            for sub in op.blocks():
+                visit(sub, local)
+            local.add(bind.dst.id)
+        if b.result.id not in local:
+            free.setdefault(b.result.id, b.result)
+
+    visit(block, bound)
+    return tuple(free[i] for i in sorted(free))
+
+
+def hoist_projections(block: Block) -> Block:
+    """Hoist map-invariant projections out of ``map`` bodies.
+
+    A mapped function whose body projects a component out of a free *pair*
+    (e.g. ``nth``'s ``snd(a)``) would otherwise force the whole pair — often
+    containing a sequence — into the distributed closure.  Projections are
+    pure and total, so moving them in front of the ``map`` is semantics- and
+    cost-preserving (it can only shrink the broadcast closure, which is
+    exactly the paper's "charge only what the function captures" refinement).
+    """
+    new_binds: list[Bind] = []
+    for bind in block.binds:
+        op = bind.op
+        subs = op.blocks()
+        if subs:
+            hoisted_subs = tuple(hoist_projections(s) for s in subs)
+            if isinstance(op, NMap):
+                body = hoisted_subs[0]
+                outer, inner = _split_invariant_projections(body)
+                new_binds.extend(outer)
+                op = NMap(Block(body.params, tuple(inner), body.result), op.src)
+            elif isinstance(op, NCase):
+                op = NCase(op.scrut, hoisted_subs[0], hoisted_subs[1])
+            elif isinstance(op, NWhile):
+                op = NWhile(hoisted_subs[0], hoisted_subs[1], op.init)
+        new_binds.append(Bind(bind.dst, op))
+    return Block(block.params, tuple(new_binds), block.result)
+
+
+def _split_invariant_projections(body: Block) -> tuple[list[Bind], list[Bind]]:
+    """Partition a map body's bindings into (hoistable prefix ops, the rest)."""
+    local: set[int] = {p.id for p in body.params}
+    outer: list[Bind] = []
+    inner: list[Bind] = []
+    for bind in body.binds:
+        op = bind.op
+        if isinstance(op, NProj) and op.a.id not in local:
+            outer.append(bind)
+        else:
+            local.add(bind.dst.id)
+            inner.append(bind)
+    return outer, inner
+
+
+def block_size(block: Block) -> int:
+    """Number of bindings, including nested blocks (compile-size reporting)."""
+    total = len(block.binds)
+    for bind in block.binds:
+        for sub in bind.op.blocks():
+            total += block_size(sub)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Lowering NSC -> NSA
+# ---------------------------------------------------------------------------
+
+
+class _Lowerer:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self, t: Type) -> NVar:
+        self._counter += 1
+        return NVar(self._counter, t)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _bind(self, binds: list[Bind], op: NOp, t: Type) -> NVar:
+        dst = self.fresh(t)
+        binds.append(Bind(dst, op))
+        return dst
+
+    @staticmethod
+    def _expect_seq(t: Type, what: str) -> SeqType:
+        if not isinstance(t, SeqType):
+            raise CompileError(f"{what}: expected a sequence type, got {t}")
+        return t
+
+    @staticmethod
+    def _expect_nat(t: Type, what: str) -> None:
+        if not isinstance(t, NatType):
+            raise CompileError(f"{what}: expected N, got {t}")
+
+    # -- terms --------------------------------------------------------------
+
+    def lower_term(self, term: A.Term, env: dict[str, NVar], binds: list[Bind]) -> NVar:
+        if isinstance(term, A.Var):
+            if term.name not in env:
+                raise CompileError(f"unbound variable {term.name!r}")
+            return env[term.name]
+
+        if isinstance(term, A.Const):
+            if term.value < 0:
+                raise CompileError("natural constants must be non-negative")
+            return self._bind(binds, NConst(term.value), NAT)
+
+        if isinstance(term, A.UnitTerm):
+            return self._bind(binds, NUnit(), UNIT)
+
+        if isinstance(term, A.ErrorTerm):
+            return self._bind(binds, NError(), term.type)
+
+        if isinstance(term, A.BinOp):
+            a = self.lower_term(term.left, env, binds)
+            b = self.lower_term(term.right, env, binds)
+            self._expect_nat(a.type, f"left operand of {term.op}")
+            self._expect_nat(b.type, f"right operand of {term.op}")
+            return self._bind(binds, NBin(term.op, a, b), NAT)
+
+        if isinstance(term, A.UnOp):
+            a = self.lower_term(term.arg, env, binds)
+            self._expect_nat(a.type, f"operand of {term.op}")
+            return self._bind(binds, NUn(term.op, a), NAT)
+
+        if isinstance(term, A.Eq):
+            a = self.lower_term(term.left, env, binds)
+            b = self.lower_term(term.right, env, binds)
+            if a.type != b.type:
+                raise CompileError(f"equality between different types {a.type} and {b.type}")
+            if not (isinstance(a.type, NatType) or a.type == BOOL):
+                raise CompileError(
+                    f"equality on type {a.type} is outside the compiled fragment "
+                    "(only N and B comparisons flatten to a single vector op)"
+                )
+            return self._bind(binds, NEq(a, b), BOOL)
+
+        if isinstance(term, A.PairTerm):
+            a = self.lower_term(term.fst, env, binds)
+            b = self.lower_term(term.snd, env, binds)
+            return self._bind(binds, NPair(a, b), ProdType(a.type, b.type))
+
+        if isinstance(term, A.Proj):
+            a = self.lower_term(term.arg, env, binds)
+            if not isinstance(a.type, ProdType):
+                raise CompileError(f"projection pi_{term.index} of non-product {a.type}")
+            out = a.type.left if term.index == 1 else a.type.right
+            return self._bind(binds, NProj(term.index, a), out)
+
+        if isinstance(term, A.Inl):
+            a = self.lower_term(term.arg, env, binds)
+            if term.right is None:
+                raise CompileError("inl(...) without a right-type annotation")
+            return self._bind(binds, NInl(a), SumType(a.type, term.right))
+
+        if isinstance(term, A.Inr):
+            a = self.lower_term(term.arg, env, binds)
+            if term.left is None:
+                raise CompileError("inr(...) without a left-type annotation")
+            return self._bind(binds, NInr(a), SumType(term.left, a.type))
+
+        if isinstance(term, A.Case):
+            scrut = self.lower_term(term.scrutinee, env, binds)
+            if not isinstance(scrut.type, SumType):
+                raise CompileError(f"case scrutinee must have a sum type, got {scrut.type}")
+            left = self._lower_branch(term.left_var, scrut.type.left, term.left_body, env)
+            right = self._lower_branch(term.right_var, scrut.type.right, term.right_body, env)
+            if left.result.type != right.result.type:
+                raise CompileError(
+                    f"case branches have different types {left.result.type} and {right.result.type}"
+                )
+            return self._bind(binds, NCase(scrut, left, right), left.result.type)
+
+        if isinstance(term, A.Apply):
+            return self.lower_apply(term.fn, term.arg, env, binds)
+
+        if isinstance(term, A.Let):
+            bound = self.lower_term(term.bound, env, binds)
+            if term.var_type is not None and term.var_type != bound.type:
+                raise CompileError(
+                    f"let-binding of {term.var!r} annotated {term.var_type} "
+                    f"but bound term has type {bound.type}"
+                )
+            inner = dict(env)
+            inner[term.var] = bound
+            return self.lower_term(term.body, inner, binds)
+
+        if isinstance(term, A.EmptySeq):
+            return self._bind(binds, NEmpty(), SeqType(term.elem))
+
+        if isinstance(term, A.Singleton):
+            a = self.lower_term(term.arg, env, binds)
+            return self._bind(binds, NSingle(a), SeqType(a.type))
+
+        if isinstance(term, A.Append):
+            a = self.lower_term(term.left, env, binds)
+            b = self.lower_term(term.right, env, binds)
+            self._expect_seq(a.type, "append left operand")
+            if a.type != b.type:
+                raise CompileError(f"append of different sequence types {a.type} and {b.type}")
+            return self._bind(binds, NAppend(a, b), a.type)
+
+        if isinstance(term, A.Flatten):
+            a = self.lower_term(term.arg, env, binds)
+            t = self._expect_seq(a.type, "flatten operand")
+            inner = self._expect_seq(t.elem, "flatten operand element")
+            return self._bind(binds, NFlatten(a), inner)
+
+        if isinstance(term, A.Length):
+            a = self.lower_term(term.arg, env, binds)
+            self._expect_seq(a.type, "length operand")
+            return self._bind(binds, NLength(a), NAT)
+
+        if isinstance(term, A.Get):
+            a = self.lower_term(term.arg, env, binds)
+            t = self._expect_seq(a.type, "get operand")
+            return self._bind(binds, NGet(a), t.elem)
+
+        if isinstance(term, A.Zip):
+            a = self.lower_term(term.left, env, binds)
+            b = self.lower_term(term.right, env, binds)
+            ta = self._expect_seq(a.type, "zip left operand")
+            tb = self._expect_seq(b.type, "zip right operand")
+            return self._bind(binds, NZip(a, b), SeqType(ProdType(ta.elem, tb.elem)))
+
+        if isinstance(term, A.Enumerate):
+            a = self.lower_term(term.arg, env, binds)
+            self._expect_seq(a.type, "enumerate operand")
+            return self._bind(binds, NEnumerate(a), SeqType(NAT))
+
+        if isinstance(term, A.Split):
+            d = self.lower_term(term.data, env, binds)
+            c = self.lower_term(term.counts, env, binds)
+            td = self._expect_seq(d.type, "split data operand")
+            tc = self._expect_seq(c.type, "split counts operand")
+            if tc.elem != NAT:
+                raise CompileError(f"split counts must be [N], got {tc}")
+            return self._bind(binds, NSplit(d, c), SeqType(td))
+
+        if isinstance(term, A.RecCall):
+            raise CompileError(
+                f"recursive call to {term.name!r}: named recursion is not directly "
+                "compilable — remove it first with the Theorem 4.2 translation "
+                "(repro.maprec.translate.translate)"
+            )
+
+        raise CompileError(f"unknown term node {type(term).__name__}")
+
+    def _lower_branch(self, var: str, var_t: Type, body: A.Term, env: dict[str, NVar]) -> Block:
+        param = self.fresh(var_t)
+        inner = dict(env)
+        inner[var] = param
+        binds: list[Bind] = []
+        result = self.lower_term(body, inner, binds)
+        return Block((param,), tuple(binds), result)
+
+    # -- functions ----------------------------------------------------------
+
+    def lower_apply(
+        self, fn: A.Function, arg: A.Term, env: dict[str, NVar], binds: list[Bind]
+    ) -> NVar:
+        a = self.lower_term(arg, env, binds)
+
+        if isinstance(fn, A.Lambda):
+            if a.type != fn.var_type:
+                raise CompileError(
+                    f"function expects {fn.var_type} but argument has type {a.type}"
+                )
+            inner = dict(env)
+            inner[fn.var] = a
+            return self.lower_term(fn.body, inner, binds)
+
+        if isinstance(fn, A.MapF):
+            t = self._expect_seq(a.type, "map argument")
+            body = self.lower_fn_block(fn.fn, t.elem, env)
+            return self._bind(binds, NMap(body, a), SeqType(body.result.type))
+
+        if isinstance(fn, A.WhileF):
+            pred = self.lower_fn_block(fn.pred, a.type, env)
+            body = self.lower_fn_block(fn.body, a.type, env)
+            if pred.result.type != BOOL:
+                raise CompileError(f"while predicate must return B, got {pred.result.type}")
+            if body.result.type != a.type:
+                raise CompileError(
+                    f"while body must preserve the state type {a.type}, "
+                    f"got {body.result.type}"
+                )
+            return self._bind(binds, NWhile(pred, body, a), a.type)
+
+        if isinstance(fn, A.RecFun):
+            raise CompileError(
+                f"named recursive definition {fn.name!r} is not directly compilable — "
+                "remove the recursion first with the Theorem 4.2 translation "
+                "(repro.maprec.translate.translate)"
+            )
+
+        raise CompileError(f"unknown function node {type(fn).__name__}")
+
+    def lower_fn_block(self, fn: A.Function, dom: Type, env: dict[str, NVar]) -> Block:
+        """Lower a function position into a one-parameter :class:`Block`."""
+        param = self.fresh(dom)
+        binds: list[Bind] = []
+        var = A.Var("__nsa_param")
+        inner = dict(env)
+        inner["__nsa_param"] = param
+        result = self.lower_apply(fn, var, inner, binds)
+        return Block((param,), tuple(binds), result)
+
+
+def lower_function(fn: A.Function, dom: Optional[Type] = None) -> Block:
+    """Lower a closed NSC function into a one-parameter NSA block.
+
+    ``dom`` may be omitted for lambdas / map / while towers whose domain is
+    recoverable from the syntax (the usual case).
+    """
+    if dom is None:
+        dom = _function_domain(fn)
+    return _Lowerer().lower_fn_block(fn, dom, {})
+
+
+def _function_domain(fn: A.Function) -> Type:
+    if isinstance(fn, A.Lambda):
+        return fn.var_type
+    if isinstance(fn, A.MapF):
+        return SeqType(_function_domain(fn.fn))
+    if isinstance(fn, A.WhileF):
+        return _function_domain(fn.body)
+    if isinstance(fn, A.RecFun):
+        raise CompileError(
+            f"named recursive definition {fn.name!r} is not directly compilable — "
+            "remove the recursion first with the Theorem 4.2 translation"
+        )
+    raise CompileError(f"cannot determine the domain of {type(fn).__name__}")

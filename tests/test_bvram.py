@@ -239,3 +239,143 @@ def test_select_matches_oracle(xs):
 def test_pairwise_sum_property(xs):
     r = run_program(pairwise_sum_program(), [xs])
     assert r.output(0) == [sum(xs)]
+
+
+# ---------------------------------------------------------------------------
+# Compiler-era ISA extensions: semantics and BVRAMError paths
+#
+# The NSC->BVRAM compiler leans on these instructions; every malformed-length
+# path must raise BVRAMError (never a bare assert or IndexError), because the
+# differential harness distinguishes "undefined program" from "machine bug"
+# by exception type.
+# ---------------------------------------------------------------------------
+
+
+def test_un_arith_semantics():
+    r = _single_instr_run(isa.UnArith(dst=1, op="log2", src=0), [[0, 1, 2, 3, 1024]])
+    assert r.registers[1].tolist() == [0, 0, 1, 1, 10]
+    r = _single_instr_run(isa.UnArith(dst=1, op="sqrt", src=0), [[0, 1, 3, 4, 10**18]])
+    assert r.registers[1].tolist() == [0, 1, 1, 2, 10**9]
+
+
+def test_un_arith_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        isa.UnArith(dst=1, op="exp", src=0)
+
+
+def test_flag_merge_semantics():
+    r = _single_instr_run(
+        isa.FlagMerge(dst=3, flags=0, a=1, b=2), [[1, 0, 0, 1, 0], [10, 20], [5, 6, 7]]
+    )
+    assert r.registers[3].tolist() == [10, 5, 6, 20, 7]
+
+
+def test_flag_merge_length_mismatches_raise():
+    with pytest.raises(BVRAMError, match="flag_merge"):
+        _single_instr_run(isa.FlagMerge(dst=3, flags=0, a=1, b=2), [[1, 0], [10, 20], []])
+    with pytest.raises(BVRAMError, match="flag_merge"):
+        _single_instr_run(isa.FlagMerge(dst=3, flags=0, a=1, b=2), [[1, 0], [10], [5, 6]])
+
+
+def test_seg_scan_semantics():
+    r = _single_instr_run(
+        isa.SegScan(dst=2, op="+", data=0, segments=1), [[1, 1, 1, 5, 5], [3, 0, 2]]
+    )
+    assert r.registers[2].tolist() == [0, 1, 2, 0, 5]
+    r = _single_instr_run(
+        isa.SegScan(dst=2, op="max", data=0, segments=1), [[3, 1, 4, 1, 5], [5]]
+    )
+    assert r.registers[2].tolist() == [0, 3, 3, 4, 4]
+
+
+def test_seg_reduce_semantics():
+    r = _single_instr_run(
+        isa.SegReduce(dst=2, op="+", data=0, segments=1), [[1, 2, 3, 4], [2, 0, 2]]
+    )
+    assert r.registers[2].tolist() == [3, 0, 7]
+    r = _single_instr_run(
+        isa.SegReduce(dst=2, op="max", data=0, segments=1), [[1, 7, 3, 4], [2, 0, 2]]
+    )
+    assert r.registers[2].tolist() == [7, 0, 4]
+
+
+def test_segmented_descriptor_mismatch_raises():
+    for instr in (
+        isa.SegScan(dst=2, op="+", data=0, segments=1),
+        isa.SegReduce(dst=2, op="+", data=0, segments=1),
+    ):
+        with pytest.raises(BVRAMError, match="segment descriptor"):
+            _single_instr_run(instr, [[1, 2, 3], [2, 2]])
+
+
+def test_trap_raises_its_message():
+    p = isa.Program(n_registers=1, n_inputs=0, n_outputs=0)
+    p.emit(isa.Trap(message="undefined: zip of unequal lengths"))
+    with pytest.raises(BVRAMError, match="zip of unequal"):
+        run_program(p, [])
+
+
+def test_load_const_rejects_negative():
+    p = isa.Program(n_registers=1, n_inputs=0, n_outputs=0)
+    p.emit(isa.LoadConst(dst=0, value=-3))
+    p.emit(isa.Halt())
+    with pytest.raises(BVRAMError, match="natural"):
+        run_program(p, [])
+
+
+def test_right_shift_by_64_or_more_is_zero():
+    """numpy's >> is undefined at >= 64 bits; the machine must define it as 0."""
+    r = _single_instr_run(
+        isa.Arith(dst=2, op=">>", a=0, b=1), [[1, 2**62, 5], [64, 100, 1]]
+    )
+    assert r.registers[2].tolist() == [0, 0, 2]
+
+
+def test_bm_route_length_mismatches_raise():
+    with pytest.raises(BVRAMError, match="bm_route"):
+        _single_instr_run(isa.BmRoute(dst=3, data=0, counts=1, bound=2), [[1, 2], [1], [1]])
+    with pytest.raises(BVRAMError, match="bm_route"):
+        _single_instr_run(
+            isa.BmRoute(dst=3, data=0, counts=1, bound=2), [[1, 2], [1, 2], [1, 1]]
+        )
+
+
+def test_sbm_route_length_mismatches_raise():
+    with pytest.raises(BVRAMError, match="sbm_route"):
+        _single_instr_run(
+            isa.SbmRoute(dst=4, bound=0, counts=1, data=2, segments=3),
+            [[0], [1, 1], [5, 6], [2]],
+        )
+    with pytest.raises(BVRAMError, match="sbm_route"):
+        _single_instr_run(
+            isa.SbmRoute(dst=4, bound=0, counts=1, data=2, segments=3),
+            [[0], [1], [5, 6], [1]],
+        )
+
+
+def test_seg_reduce_sum_is_exact_and_traps_on_overflow():
+    """Per-segment sums must be exact int64 (no float weights) and must trap
+    on overflow exactly like arith '+', not wrap silently."""
+    r = _single_instr_run(
+        isa.SegReduce(dst=2, op="+", data=0, segments=1), [[2**53 + 1, 1], [2]]
+    )
+    assert r.registers[2].tolist() == [2**53 + 2]
+    with pytest.raises(BVRAMError, match="overflow"):
+        _single_instr_run(
+            isa.SegReduce(dst=2, op="+", data=0, segments=1), [[2**62] * 3, [3]]
+        )
+
+
+def test_seg_scan_sum_traps_on_overflow():
+    with pytest.raises(BVRAMError, match="overflow"):
+        _single_instr_run(
+            isa.SegScan(dst=2, op="+", data=0, segments=1), [[2**62] * 3, [3]]
+        )
+
+
+def test_log2_near_register_width_is_exact():
+    """float64 rounds log2(2^63 - 1) up to 63.0; the machine must fix it."""
+    r = _single_instr_run(
+        isa.UnArith(dst=1, op="log2", src=0), [[2**63 - 1, 2**62, 2**62 - 1]]
+    )
+    assert r.registers[1].tolist() == [62, 62, 61]

@@ -1,0 +1,258 @@
+"""Tests for the NSC->BVRAM compiler (Section 7 / Theorem 7.1).
+
+The heart is the differential battery: every suite program runs through both
+the Appendix B interpreter and the compiled BVRAM and must produce the same
+S-object, with measured ``T'`` within a constant factor of ``T`` and ``W'``
+inside the ``O(W^(1+eps))`` envelope for two ``eps`` values.
+"""
+
+import pytest
+
+from repro.bvram import BVRAMError
+from repro.compiler import CompileError, CompiledProgram, compile_nsc
+from repro.compiler.codegen import decode_values, encode_values, field_count
+from repro.compiler.difftest import run_differential, run_suite, suite
+from repro.compiler.nsa import block_free_vars, block_size, lower_function
+from repro.nsc import apply_function, builder as B, evaluate, from_python, lib
+from repro.nsc.eval import NSCEvalError
+from repro.nsc.types import BOOL, NAT, prod, seq, sum_t
+from repro.nsc.values import FALSE, TRUE, VInl, VInr, VNat, VPair, VSeq, vseq
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: NSA lowering
+# ---------------------------------------------------------------------------
+
+
+def test_lowering_inlines_lambdas_and_lets():
+    x = B.gensym("x")
+    fn = B.lam(x, NAT, B.let("y", B.add(B.v(x), 1), B.mul(B.v("y"), B.v("y"))))
+    block = lower_function(fn)
+    assert len(block.params) == 1
+    assert block_size(block) == 3  # const 1, add, mul
+    assert block_free_vars(block) == ()
+
+
+def test_lowering_rejects_recursion():
+    from repro.algorithms.quicksort import quicksort_def
+
+    with pytest.raises(CompileError, match="Theorem 4.2"):
+        compile_nsc(quicksort_def().to_recfun())
+
+
+def test_lowering_rejects_sequence_equality():
+    x = B.gensym("x")
+    fn = B.lam(x, seq(NAT), B.eq(B.v(x), B.v(x)))
+    with pytest.raises(CompileError, match="equality"):
+        compile_nsc(fn)
+
+
+def test_map_closures_are_free_vars():
+    x, y = B.gensym("x"), B.gensym("y")
+    fn = B.lam(
+        x, NAT, B.app(B.map_(B.lam(y, NAT, B.add(B.v(y), B.v(x)))), B.nat_seq([1, 2]))
+    )
+    block = lower_function(fn)
+    # the inner map block must report the captured scalar as free
+    (mapped,) = [b.op for b in block.binds if type(b.op).__name__ == "NMap"]
+    assert [v.type for v in block_free_vars(mapped.body)] == [NAT]
+
+
+# ---------------------------------------------------------------------------
+# Marshalling: encode/decode round-trips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "t, value",
+    [
+        (NAT, VNat(42)),
+        (seq(NAT), from_python([1, 2, 3])),
+        (seq(NAT), from_python([])),
+        (seq(seq(NAT)), from_python([[1], [], [2, 3]])),
+        (prod(NAT, seq(NAT)), from_python((7, [8, 9]))),
+        (BOOL, TRUE),
+        (BOOL, FALSE),
+        (sum_t(seq(NAT), NAT), VInl(from_python([4, 5]))),
+        (sum_t(seq(NAT), NAT), VInr(VNat(6))),
+        (seq(sum_t(NAT, NAT)), vseq([VInl(VNat(1)), VInr(VNat(2)), VInl(VNat(3))])),
+    ],
+)
+def test_encode_decode_roundtrip(t, value):
+    fields = encode_values([value], t)
+    assert len(fields) == field_count(t)
+    assert decode_values(fields, t, 1) == [value]
+
+
+# ---------------------------------------------------------------------------
+# The differential battery (the Theorem 7.1 check)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("eps", [1.0, 0.5])
+def test_differential_suite(eps):
+    records = run_suite(eps=eps)
+    assert records, "empty differential suite"
+    bad = [r for r in records if not r.ok]
+    detail = "\n".join(
+        f"{r.name}: match={r.value_matches} T={r.interp_time} T'={r.bvram_time} "
+        f"W={r.interp_work} W'={r.bvram_work} instrs={r.instructions}"
+        for r in bad
+    )
+    assert not bad, f"differential failures at eps={eps}:\n{detail}"
+
+
+def test_compiled_identity_function():
+    x = B.gensym("x")
+    prog = compile_nsc(B.lam(x, seq(NAT), B.v(x)))
+    value, run = prog.run([4, 5, 6])
+    assert value == from_python([4, 5, 6])
+    assert run.time >= 1
+
+
+def test_compiled_costs_are_deterministic():
+    fn = lib.reduce_add()
+    prog = compile_nsc(fn)
+    _, r1 = prog.run(list(range(9)))
+    _, r2 = prog.run(list(range(9)))
+    assert (r1.time, r1.work) == (r2.time, r2.work)
+
+
+def test_eps_is_validated():
+    x = B.gensym("x")
+    fn = B.lam(x, NAT, B.v(x))
+    with pytest.raises(CompileError, match="eps"):
+        compile_nsc(fn, eps=0.0)
+    with pytest.raises(CompileError, match="eps"):
+        compile_nsc(fn, eps=1.5)
+
+
+def test_smaller_eps_does_not_increase_work_on_skewed_while():
+    """Lemma 7.2: the staged scheme's re-touching shrinks as eps shrinks.
+
+    ``map(while(x > 0, x - 1))`` over [n, n, ..., 1, huge] has a maximally
+    skewed finishing profile; the dense (eps = 1) scheme re-touches every slot
+    each iteration while smaller eps compacts between stages.
+    """
+    x, y = B.gensym("x"), B.gensym("y")
+    fn = B.map_(
+        B.while_(B.lam(x, NAT, B.gt(B.v(x), 0)), B.lam(y, NAT, B.sub(B.v(y), 1)))
+    )
+    arg = list(range(1, 33)) + [400]
+    works = {}
+    for eps in (1.0, 0.5, 0.25):
+        _, run = compile_nsc(fn, eps=eps).run(arg)
+        works[eps] = run.work
+    assert works[0.25] < works[0.5] < works[1.0]
+    # all three agree with the interpreter on the value, per run_differential
+    assert run_differential("skew", fn, arg, eps=0.25).value_matches
+
+
+# ---------------------------------------------------------------------------
+# Undefinedness parity: interpreter error <=> BVRAM trap
+# ---------------------------------------------------------------------------
+
+
+def _both_fail(fn, arg, interp_pattern=None):
+    with pytest.raises(NSCEvalError):
+        apply_function(fn, from_python(arg))
+    prog = compile_nsc(fn)
+    with pytest.raises(BVRAMError):
+        prog.run(arg)
+
+
+def test_trap_parity_zip_mismatch():
+    p = B.gensym("p")
+    fn = B.lam(p, prod(seq(NAT), seq(NAT)), B.zip_(B.fst(B.v(p)), B.snd(B.v(p))))
+    _both_fail(fn, ([1, 2], [1]))
+
+
+def test_trap_parity_get_of_long_sequence():
+    x = B.gensym("x")
+    fn = B.lam(x, seq(NAT), B.get_(B.v(x)))
+    _both_fail(fn, [1, 2])
+    _both_fail(fn, [])
+
+
+def test_trap_parity_split_mismatch():
+    x = B.gensym("x")
+    fn = B.lam(x, seq(NAT), B.split_(B.v(x), B.nat_seq([1, 2])))
+    _both_fail(fn, [5])
+
+
+def test_trap_parity_division_by_zero():
+    x = B.gensym("x")
+    fn = B.lam(x, NAT, B.div(1, B.v(x)))
+    _both_fail(fn, 0)
+
+
+def test_trap_parity_error_term():
+    x = B.gensym("x")
+    fn = B.lam(x, NAT, B.error(NAT))
+    _both_fail(fn, 3)
+
+
+def test_untaken_branch_does_not_trap():
+    """The compiled conditional runs both branches on packed sub-contexts;
+    the not-taken branch executes over *zero* element slots, so a division
+    by zero (or Omega) there must not fire — matching the lazy interpreter."""
+    x = B.gensym("x")
+    fn = B.lam(x, NAT, B.if_(B.gt(B.v(x), 0), B.v(x), B.div(B.v(x), 0)))
+    assert apply_function(fn, from_python(5)).value == VNat(5)
+    value, _ = compile_nsc(fn).run(5)
+    assert value == VNat(5)
+
+    y = B.gensym("y")
+    fn2 = B.lam(y, NAT, B.if_(B.gt(B.v(y), 0), B.v(y), B.error(NAT)))
+    value, _ = compile_nsc(fn2).run(9)
+    assert value == VNat(9)
+
+
+def test_map_over_empty_runs_zero_slots():
+    """Every construct (including while) must be a no-op at context width 0."""
+    x, y = B.gensym("x"), B.gensym("y")
+    inner = B.while_(
+        B.lam(x, NAT, B.gt(B.v(x), 1)), B.lam(y, NAT, B.div(B.v(y), 0))
+    )
+    fn = B.map_(inner)
+    value, run = compile_nsc(fn).run([])
+    assert value == from_python([])
+
+
+# ---------------------------------------------------------------------------
+# The closed chain: recursion -> Theorem 4.2 -> compiler -> BVRAM
+# ---------------------------------------------------------------------------
+
+
+def test_quicksort_chain_end_to_end():
+    from repro.algorithms.quicksort import quicksort_def
+    from repro.maprec.translate import translate
+
+    arg = [3, 1, 4, 1, 5, 9, 2, 6]
+    rec = apply_function(quicksort_def().to_recfun(), from_python(arg))
+    prog = compile_nsc(translate(quicksort_def()), eps=0.5)
+    value, run = prog.run(arg)
+    assert value == rec.value == from_python(sorted(arg))
+    assert run.time > 0 and run.work > 0
+
+
+def test_mergesort_g_schema_chain_end_to_end():
+    from repro.algorithms.mergesort import mergesort_def
+    from repro.maprec.translate import translate
+
+    d = mergesort_def()
+    d.check_types()
+    arg = [5, 3, 8, 1, 9, 2, 7, 4, 6, 0]
+    rec = apply_function(d.to_recfun(), from_python(arg))
+    assert rec.value == from_python(sorted(arg))
+    value, _ = compile_nsc(translate(d), eps=0.5).run(arg)
+    assert value == from_python(sorted(arg))
+
+
+def test_compiled_program_shape():
+    prog = compile_nsc(lib.reduce_add())
+    assert isinstance(prog, CompiledProgram)
+    assert prog.n_inputs == field_count(seq(NAT)) == 2
+    assert prog.n_outputs == field_count(NAT) == 1
+    assert prog.nsa_size > 0
+    prog.validate()  # labels and register indices are all in range

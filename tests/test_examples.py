@@ -41,3 +41,26 @@ def test_valiant_sort_seed_controls_output():
     a = _capture(mod.main, sizes=(8,), seed=7)
     b = _capture(mod.main, sizes=(8,), seed=8)
     assert a != b
+
+
+def test_compile_nsc_sorts_example_runs_and_sorts():
+    """The compiler demo runs end to end and its internal assertions hold."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import compile_nsc_sorts
+    finally:
+        sys.path.pop(0)
+    out = _capture(compile_nsc_sorts.main, n=10, eps_values=(1.0, 0.5))
+    assert "quicksort" in out and "mergesort" in out
+    assert "W'/W" in out
+
+
+def test_compile_to_bvram_example_runs():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import compile_to_bvram
+    finally:
+        sys.path.pop(0)
+    out = _capture(compile_to_bvram.main)
+    # hand-written kernel and compiled program agree on the same input
+    assert out.count("[3, 0, 10, 7]") == 2

@@ -1,0 +1,156 @@
+"""Edge cases of the Map Lemma module (:mod:`repro.sa.flattening`, Lemma 7.2).
+
+Targets the corners the main E6 experiment never visits: empty inputs,
+single-element segments, extreme ``eps`` values and elements that finish in
+zero iterations — all three ``seq_while_*`` schemes must agree with the
+scalar oracle on every one of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sa.flattening import (
+    CostCounter,
+    SegmentedVector,
+    python_while_reference,
+    seq_bm_route,
+    seq_filter,
+    seq_lengths,
+    seq_map_scalar,
+    seq_while_simple,
+    seq_while_staged,
+    seq_while_unbounded,
+)
+
+
+# ---------------------------------------------------------------------------
+# SegmentedVector structure
+# ---------------------------------------------------------------------------
+
+
+def test_segmented_vector_empty_roundtrip():
+    sv = SegmentedVector.from_nested([])
+    assert len(sv) == 0 and sv.total == 0
+    assert sv.to_nested() == []
+
+
+def test_segmented_vector_with_empty_segments():
+    nested = [[], [1], [], [2, 3], []]
+    sv = SegmentedVector.from_nested(nested)
+    assert sv.segments.tolist() == [0, 1, 0, 2, 0]
+    assert sv.to_nested() == nested
+
+
+def test_seq_map_scalar_over_all_empty_segments():
+    sv = SegmentedVector.from_nested([[], [], []])
+    cost = CostCounter()
+    out = seq_map_scalar(sv, lambda d: d + 1, cost)
+    assert out.to_nested() == [[], [], []]
+    assert cost.time == 1 and cost.work == 0
+
+
+def test_seq_lengths_and_filter_on_singletons():
+    sv = SegmentedVector.from_nested([[4], [0], [9]])
+    cost = CostCounter()
+    assert seq_lengths(sv, cost).tolist() == [1, 1, 1]
+    out = seq_filter(sv, lambda d: d > 0, cost)
+    assert out.to_nested() == [[4], [], [9]]
+
+
+def test_seq_bm_route_zero_counts_drop_segments():
+    sv = SegmentedVector.from_nested([[1, 2], [3], [4, 5, 6]])
+    cost = CostCounter()
+    out = seq_bm_route(sv, np.array([0, 2, 0]), cost)
+    assert out.to_nested() == [[3], [3]]
+    with pytest.raises(ValueError):
+        seq_bm_route(sv, np.array([1, 1]), cost)
+
+
+# ---------------------------------------------------------------------------
+# The while schemes at the edges
+# ---------------------------------------------------------------------------
+
+_PRED = lambda v: v > 1  # noqa: E731
+_STEP = lambda v: v >> 1  # noqa: E731
+
+
+def _all_schemes(values, eps):
+    return {
+        "unbounded": seq_while_unbounded(values, _PRED, _STEP),
+        "simple": seq_while_simple(values, _PRED, _STEP),
+        "staged": seq_while_staged(values, _PRED, _STEP, eps),
+    }
+
+
+@pytest.mark.parametrize("eps", [1.0, 0.5, 0.05])
+def test_while_schemes_agree_on_empty_input(eps):
+    oracle, _ = python_while_reference([], _PRED, _STEP)
+    for name, res in _all_schemes([], eps).items():
+        assert res.values.tolist() == oracle, name
+        assert res.iterations == 0
+
+
+@pytest.mark.parametrize("eps", [1.0, 0.5, 0.05])
+def test_while_schemes_agree_on_zero_iteration_elements(eps):
+    # 0 and 1 fail the predicate before the first step; mixtures exercise the
+    # initial-finishers sink path of every scheme
+    values = [0, 1, 0, 1, 1]
+    oracle, _ = python_while_reference(values, _PRED, _STEP)
+    for name, res in _all_schemes(values, eps).items():
+        assert res.values.tolist() == oracle, name
+        assert res.iterations == 0
+
+
+@pytest.mark.parametrize("eps", [1.0, 0.5, 0.25, 0.05])
+def test_while_schemes_agree_on_mixed_input(eps):
+    values = [0, 1, 7, 1024, 2, 1, 65536, 3]
+    oracle, _ = python_while_reference(values, _PRED, _STEP)
+    for name, res in _all_schemes(values, eps).items():
+        assert res.values.tolist() == oracle, name
+
+
+def test_staged_eps_one_is_single_stage():
+    """eps = 1 means r = 1 stage: the final accumulator is touched once."""
+    values = list(range(1, 65))
+    res = seq_while_staged(values, _PRED, _STEP, 1.0)
+    oracle, _ = python_while_reference(values, _PRED, _STEP)
+    assert res.values.tolist() == oracle
+    assert res.cost.max_registers == 3  # bounded registers regardless of eps
+
+
+def test_staged_tiny_eps_flushes_every_batch():
+    """eps -> 0 makes every batch its own stage; values still agree and the
+    register bound stays 3 (the point of Lemma 7.2)."""
+    values = list(range(1, 65))
+    res = seq_while_staged(values, _PRED, _STEP, 0.01)
+    oracle, _ = python_while_reference(values, _PRED, _STEP)
+    assert res.values.tolist() == oracle
+    assert res.cost.max_registers == 3
+
+
+def test_staged_eps_out_of_range_raises():
+    with pytest.raises(ValueError):
+        seq_while_staged([1, 2], _PRED, _STEP, 0.0)
+    with pytest.raises(ValueError):
+        seq_while_staged([1, 2], _PRED, _STEP, 1.5)
+
+
+def test_staged_work_between_unbounded_and_simple_on_skewed_profile():
+    """On a maximally skewed finishing profile (countdown: every element has a
+    distinct finishing time, so there are ~n batches) the staged scheme must
+    beat the naive accumulator while paying more than the unbounded ideal."""
+    pred = lambda v: v > 0  # noqa: E731
+    step = lambda v: v - 1  # noqa: E731
+    values = list(range(1, 129))
+    sizes = np.full(len(values), 16)
+    base = seq_while_unbounded(values, pred, step, sizes).cost.work
+    naive = seq_while_simple(values, pred, step, sizes).cost.work
+    staged = seq_while_staged(values, pred, step, 0.5, sizes).cost.work
+    assert base <= staged <= naive
+    # and the Lemma 7.2 margin is substantive, not a tie
+    assert staged < 0.5 * naive
+
+
+def test_result_sizes_validation():
+    with pytest.raises(ValueError):
+        seq_while_staged([1, 2, 3], _PRED, _STEP, 0.5, result_sizes=[1, 2])
