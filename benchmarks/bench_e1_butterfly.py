@@ -4,6 +4,8 @@ Claim: any BVRAM instruction of work W runs in O(log n) steps (n = O(W)) on a
 butterfly with n log n nodes using only oblivious (greedy) routing.
 """
 
+import common
+
 from repro.analysis import format_table, log_slope, loglog_slope
 from repro.butterfly import append_route, arithmetic_steps, bm_route_route, sbm_route_route, select_route
 
@@ -29,6 +31,13 @@ def test_e1_butterfly_steps(benchmark):
     sizes, rows = _series()
     print("\nE1  butterfly steps per BVRAM instruction (Prop 2.1)")
     print(format_table(["n", "arith", "append", "bm_route", "sbm_route", "select"], rows))
+    wall_s, _ = common.wall(lambda: bm_route_route([2] * 2048))
+    common.record(
+        "e1/butterfly_steps",
+        wall_s=wall_s,
+        max_route_steps=max(rows[-1][2:]),
+        n=sizes[-1],
+    )
     # shape: steps grow logarithmically (power-law exponent ~0), never linearly
     for col in range(2, 6):
         steps = [r[col] for r in rows]

@@ -3,6 +3,8 @@
 Claim: cycles fall as ~W/p until p approaches W/T, then flatten at ~T.
 """
 
+import common
+
 from repro.algorithms.mergesort import run_mergesort
 from repro.analysis import format_table
 from repro.bvram import run_program
@@ -11,7 +13,8 @@ from repro.pram import brent_bound, schedule_outcome, schedule_trace
 
 
 def test_e2_brent_scheduling_nsc(benchmark):
-    outcome = run_mergesort(list(range(64, 0, -1)))
+    wall_s, outcome = common.wall(lambda: run_mergesort(list(range(64, 0, -1))))
+    common.record("e2/mergesort_64", wall_s=wall_s, time=outcome.time, work=outcome.work)
     procs = [1, 2, 4, 8, 16, 32, 64, 128, 256, 1024]
     rows = []
     for p in procs:

@@ -5,6 +5,8 @@ unbalanced trees the naive accumulation pays O(v*W) while the staged z_i
 buffers pay only O(v^eps * W).
 """
 
+import common
+
 from repro.algorithms.quicksort import quicksort_def
 from repro.algorithms.schemata import balanced_sum, skewed_sum
 from repro.analysis import format_table
@@ -31,6 +33,8 @@ def test_e3_translation_preserves_complexity(benchmark):
     print("\nE3  direct recursion vs Theorem 4.2 translation (skewed_sum, unbalanced)")
     rows_s = _ratios(skewed_sum(), sizes)
     print(format_table(["n", "T rec", "T nsc", "T ratio", "W rec", "W nsc", "W ratio"], rows_s))
+    common.record("e3/balanced_sum_64", time=rows_b[-1][2], work=rows_b[-1][5])
+    common.record("e3/skewed_sum_64", time=rows_s[-1][2], work=rows_s[-1][5])
     # T' = O(T): ratios bounded and not growing for both shapes
     for rows in (rows_b, rows_s):
         t_ratios = [r[3] for r in rows]

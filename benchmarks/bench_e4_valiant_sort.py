@@ -5,7 +5,8 @@ O(log n log log n); index/indexsplit are constant-time, linear-work.
 """
 
 import math
-import random
+
+import common
 
 from repro.algorithms.mergesort import index_fn, run_index, run_merge, run_mergesort
 from repro.analysis import format_table, loglog_slope
@@ -14,11 +15,11 @@ from repro.nsc.types import NAT
 
 
 def test_e4_mergesort_time_shape(benchmark):
-    random.seed(0)
+    r = common.rng(0)
     sizes = [8, 16, 32, 64, 128, 256]
     rows = []
     for n in sizes:
-        xs = random.sample(range(10 * n), n)
+        xs = r.sample(range(10 * n), n)
         out = run_mergesort(xs)
         model = math.log2(n) * max(1.0, math.log2(max(2, math.log2(n))))
         rows.append([n, out.time, round(out.time / model, 1), out.work])
@@ -30,23 +31,26 @@ def test_e4_mergesort_time_shape(benchmark):
     # the normalised column stays within a small band (constant factor)
     norm = [r[2] for r in rows]
     assert max(norm) <= 3 * min(norm)
-    benchmark(lambda: run_mergesort(random.sample(range(1000), 32)))
+    common.record("e4/mergesort_256", time=rows[-1][1], work=rows[-1][3])
+    sample = r.sample(range(1000), 32)
+    benchmark(lambda: run_mergesort(sample))
 
 
 def test_e4_merge_time_loglog(benchmark):
-    random.seed(1)
+    r = common.rng(1)
     sizes = [16, 64, 256, 1024]
     rows = []
     for n in sizes:
-        a = sorted(random.sample(range(100000), n))
-        b = sorted(random.sample(range(100000), n))
+        a = sorted(r.sample(range(100000), n))
+        b = sorted(r.sample(range(100000), n))
         out = run_merge(a, b)
         rows.append([n, out.time, out.work])
     print("\nE4b Valiant merge (Figure 1): T = O(log log m)")
     print(format_table(["m = n", "T", "W"], rows))
-    times = [r[1] for r in rows]
+    times = [row[1] for row in rows]
     # 64x more data, barely more parallel time
     assert times[-1] <= 2.5 * times[0]
+    common.record("e4/merge_1024", time=rows[-1][1], work=rows[-1][2])
     benchmark(lambda: run_merge(list(range(0, 64, 2)), list(range(1, 64, 2))))
 
 

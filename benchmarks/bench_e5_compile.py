@@ -8,6 +8,8 @@ reproduce the same work growth on a machine with a *fixed* number of
 registers and no general permutation instruction.
 """
 
+import common
+
 from repro.analysis import format_table, loglog_slope
 from repro.bvram import run_program
 from repro.bvram.programs import filter_leq_program, pairwise_sum_program
@@ -27,6 +29,7 @@ def test_e5_reduction_nsc_vs_bvram(benchmark):
         rows.append([n, nsc.time, nsc.work, bv.time, bv.work, 8])
     print("\nE5  logarithmic reduction: NSC (Def 3.1 costs) vs compiled BVRAM kernel")
     print(format_table(["n", "T nsc", "W nsc", "T bvram", "W bvram", "registers"], rows))
+    common.record("e5/reduction_1024", time=rows[-1][3], work=rows[-1][4])
     # both sides have near-linear work and logarithmic time; register count fixed
     assert 0.8 <= loglog_slope(sizes, [r[2] for r in rows]).slope <= 1.4
     assert 0.8 <= loglog_slope(sizes, [r[4] for r in rows]).slope <= 1.4

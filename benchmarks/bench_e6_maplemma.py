@@ -6,6 +6,7 @@ while the naive single-accumulator scheme pays up to O(t_max * W); the number
 of registers used by the staged scheme does not depend on eps.
 """
 
+import common
 import numpy as np
 
 from repro.analysis import format_table
@@ -49,5 +50,10 @@ def test_e6_while_flattening_overheads(benchmark):
     staged_factors = [r[4] for r in rows]
     assert staged_factors[-1] < naive_factors[-1] / 2
     assert all(s < n_ for s, n_ in zip(staged_factors, naive_factors))
+    common.record(
+        "e6/staged_512",
+        naive_factor=naive_factors[-1],
+        staged_factor=staged_factors[-1],
+    )
     vals, sizes, pred, step = _workload(128)
     benchmark(lambda: seq_while_staged(vals, pred, step, 0.5, sizes))

@@ -6,7 +6,7 @@ time with far lower work growth.  This is why the BVRAM can afford to omit a
 general permutation instruction.
 """
 
-import random
+import common
 
 from repro.algorithms.permute import oracle_scatter, run_permute_map, run_permute_sort
 from repro.analysis import format_table, loglog_slope
@@ -14,13 +14,13 @@ from repro.nsc import to_python
 
 
 def test_e7_permutation_tradeoff(benchmark):
-    random.seed(2)
+    r = common.rng(2)
     sizes = [8, 16, 32, 64]
     rows = []
     for n in sizes:
         targets = list(range(n))
-        random.shuffle(targets)
-        values = [random.randrange(1000) for _ in range(n)]
+        r.shuffle(targets)
+        values = [r.randrange(1000) for _ in range(n)]
         om = run_permute_map(values, targets)
         os_ = run_permute_sort(values, targets)
         expected = oracle_scatter(values, targets)
@@ -32,4 +32,5 @@ def test_e7_permutation_tradeoff(benchmark):
     assert loglog_slope(sizes, [r[2] for r in rows]).slope > 1.6           # map: ~quadratic work
     assert loglog_slope(sizes, [r[4] for r in rows]).slope < 1.6           # sort: subquadratic work
     assert loglog_slope(sizes, [r[3] for r in rows]).slope < 0.85          # sort: slowly growing time
+    common.record("e7/permute_64", map_work=rows[-1][2], sort_work=rows[-1][4])
     benchmark(lambda: run_permute_map(list(range(16)), list(reversed(range(16)))))

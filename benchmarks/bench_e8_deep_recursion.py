@@ -12,7 +12,8 @@ Run:  pytest benchmarks/bench_e8_deep_recursion.py -s
 """
 
 import sys
-import time
+
+import common
 
 from repro.algorithms.schemata import countdown
 from repro.analysis import format_table
@@ -58,15 +59,14 @@ def test_e8_deep_while_loops(benchmark):
         w = _countdown_while()
         rows = []
         for n in (1_000, 10_000, 100_000):
-            t0 = time.perf_counter()
-            out = apply_function(w, from_python(n))
-            dt = time.perf_counter() - t0
+            dt, out = common.wall(lambda: apply_function(w, from_python(n)), repeat=1)
             assert to_python(out.value) == 0
             rows.append([n, out.time, out.work, round(out.time / dt / 1e6, 2)])
         print("\nE8  while-loop depth scaling (default recursion limit in force)")
         print(format_table(["iterations", "T", "W", "T-steps/s (M)"], rows))
         # T linear in the iteration count
         assert rows[-1][1] > 90 * rows[0][1]
+        common.record("e8/while_100k", time=rows[-1][1], work=rows[-1][2])
     finally:
         sys.setrecursionlimit(old_limit)
     benchmark(lambda: apply_function(w, from_python(2_000)))
@@ -79,14 +79,13 @@ def test_e8_deep_maprec_trees(benchmark):
         f = _linear_tree_recfun()
         rows = []
         for depth in (1_000, 5_000, 10_000):
-            t0 = time.perf_counter()
-            out = apply_function(f, from_python(depth))
-            dt = time.perf_counter() - t0
+            dt, out = common.wall(lambda: apply_function(f, from_python(depth)), repeat=1)
             assert to_python(out.value) == depth
             rows.append([depth, out.time, out.work, round(dt, 3)])
         print("\nE8  unbalanced map-recursion tree depth scaling")
         print(format_table(["depth", "T", "W", "wall s"], rows))
         assert rows[-1][1] > 9 * rows[0][1]
+        common.record("e8/maprec_10k", time=rows[-1][1], work=rows[-1][2], wall_s=rows[-1][3])
     finally:
         sys.setrecursionlimit(old_limit)
     benchmark(lambda: apply_function(f, from_python(500)))

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Run every ``bench_e*.py`` experiment and emit ``BENCH_PR3.json``.
+
+This is the perf-regression harness the CI job runs:
+
+1. each experiment file is executed through pytest (``--benchmark-disable``,
+   so claims are asserted once without timing loops) with ``BENCH_JSON``
+   pointing at a scratch file — the experiments' :func:`common.record` calls
+   land there as JSON lines;
+2. the per-experiment wall-clock and records are aggregated into one
+   machine-readable JSON document (default: ``BENCH_PR3.json`` at the repo
+   root), suitable for uploading as a workflow artifact and for committing
+   as the next baseline;
+3. with ``--check``, the document is compared against the committed baseline
+   (default: ``benchmarks/bench_baseline.json``): the job **fails** when an
+   experiment's wall-clock, or any deterministic ``time``/``work`` counter
+   in a matching record, regresses by more than ``--factor`` (default 2x).
+
+The ``time``/``work`` counters are exact machine/Definition 3.1 costs and
+compare directly.  Wall-clock compares as each experiment's **share of the
+run's total wall time**, not absolute seconds — a uniformly slower CI
+runner leaves every share unchanged (no false alarms against a baseline
+recorded on other hardware), while a single experiment slowing down >2x
+relative to its siblings inflates its share and fails the gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # write BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_all.py --check    # + regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+
+def run_experiment(path: str) -> tuple[float, list[dict], int]:
+    """Run one bench file under pytest; returns (wall_s, records, returncode)."""
+    fd, records_path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    env = dict(os.environ)
+    env["BENCH_JSON"] = records_path
+    env["PYTHONHASHSEED"] = "0"
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", path, "-q", "--benchmark-disable"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    wall = time.perf_counter() - t0
+    records: list[dict] = []
+    try:
+        with open(records_path, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+    finally:
+        os.unlink(records_path)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-4000:] + proc.stderr[-2000:])
+    return wall, records, proc.returncode
+
+
+def collect(out_path: str) -> dict:
+    experiments: dict[str, dict] = {}
+    failed = []
+    for path in sorted(glob.glob(os.path.join(BENCH_DIR, "bench_e*.py"))):
+        name = os.path.basename(path).split("_")[1]  # bench_e9_compiled.py -> e9
+        print(f"[run_all] {os.path.basename(path)} ...", flush=True)
+        wall, records, rc = run_experiment(path)
+        experiments[name] = {"wall_s": round(wall, 3), "records": records}
+        print(f"[run_all]   {wall:.1f}s, {len(records)} records, rc={rc}", flush=True)
+        if rc != 0:
+            failed.append(name)
+    payload = {
+        "schema": 1,
+        "opt_level": 2,  # compile_nsc's default, used by every compiled record
+        "python": platform.python_version(),
+        "experiments": experiments,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[run_all] wrote {out_path}")
+    if failed:
+        raise SystemExit(f"experiments failed: {', '.join(failed)}")
+    return payload
+
+
+def check(payload: dict, baseline_path: str, factor: float) -> int:
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    regressions = []
+    base_total = sum(e["wall_s"] for e in baseline.get("experiments", {}).values())
+    new_total = sum(e["wall_s"] for e in payload["experiments"].values())
+    for name, base_exp in baseline.get("experiments", {}).items():
+        new_exp = payload["experiments"].get(name)
+        if new_exp is None:
+            regressions.append(f"{name}: experiment disappeared")
+            continue
+        # normalized wall share: machine-speed-invariant (see module docstring)
+        base_share = base_exp["wall_s"] / base_total if base_total else 0.0
+        new_share = new_exp["wall_s"] / new_total if new_total else 0.0
+        if base_share and new_share > factor * base_share:
+            regressions.append(
+                f"{name}: wall share {100 * new_share:.1f}% "
+                f"({new_exp['wall_s']:.2f}s) > {factor}x baseline share "
+                f"{100 * base_share:.1f}% ({base_exp['wall_s']:.2f}s)"
+            )
+        base_recs = {r["name"]: r for r in base_exp.get("records", [])}
+        new_recs = {r["name"]: r for r in new_exp.get("records", [])}
+        for rec_name, base_rec in base_recs.items():
+            new_rec = new_recs.get(rec_name)
+            if new_rec is None:
+                regressions.append(f"{name}: record {rec_name!r} disappeared")
+                continue
+            for metric in ("time", "work"):
+                b, n = base_rec.get(metric), new_rec.get(metric)
+                if b and n and n > factor * b:
+                    regressions.append(
+                        f"{name}/{rec_name}: {metric} {n} > {factor}x baseline {b}"
+                    )
+    if regressions:
+        print("[run_all] PERF REGRESSIONS DETECTED:")
+        for r in regressions:
+            print(f"  - {r}")
+        return 1
+    print(f"[run_all] no regressions vs {baseline_path} (factor {factor}x)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR3.json"))
+    ap.add_argument(
+        "--baseline", default=os.path.join(BENCH_DIR, "bench_baseline.json")
+    )
+    ap.add_argument("--check", action="store_true", help="enable the regression gate")
+    ap.add_argument("--factor", type=float, default=2.0)
+    args = ap.parse_args()
+    payload = collect(args.out)
+    if args.check:
+        return check(payload, args.baseline, args.factor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -346,6 +346,29 @@ class Halt(Instruction):
     """Stop the program."""
 
 
+#: register-index fields per instruction class — the structural companion to
+#: ``registers_read`` / ``registers_written``, used by the compiler's
+#: register-renumbering pass.  Control flow (``Goto``, ``Trap``, ``Halt``)
+#: carries no register fields and is absent.
+REG_FIELDS: dict[type, tuple[str, ...]] = {
+    Move: ("dst", "src"),
+    Arith: ("dst", "a", "b"),
+    LoadEmpty: ("dst",),
+    LoadConst: ("dst",),
+    AppendI: ("dst", "a", "b"),
+    LengthI: ("dst", "src"),
+    EnumerateI: ("dst", "src"),
+    BmRoute: ("dst", "data", "counts", "bound"),
+    SbmRoute: ("dst", "bound", "counts", "data", "segments"),
+    Select: ("dst", "src"),
+    UnArith: ("dst", "src"),
+    FlagMerge: ("dst", "flags", "a", "b"),
+    SegScan: ("dst", "data", "segments"),
+    SegReduce: ("dst", "data", "segments"),
+    GotoIfEmpty: ("src",),
+}
+
+
 @dataclass
 class Program:
     """A labelled BVRAM program.

@@ -5,9 +5,20 @@ parallel time ``T`` is the number of instructions executed (each instruction
 counts 1) and the work ``W`` is the sum over executed instructions of the
 lengths of their input and output registers.
 
-The machine also records a per-instruction *trace* (opcode, work) so that the
-butterfly implementation (Proposition 2.1) and the Brent scheduler
-(Proposition 3.2) can replay executions step by step.
+Execution has two modes:
+
+* **traced** (``record_trace=True``, the default) — records a
+  per-instruction *trace* (opcode, work) so that the butterfly
+  implementation (Proposition 2.1) and the Brent scheduler (Proposition 3.2)
+  can replay executions step by step;
+* **untraced** (``record_trace=False``) — the fast path: the program is
+  pre-compiled once into a threaded plan of per-instruction closures
+  (cached on the program object), no :class:`TraceEntry` objects are
+  allocated, and the ``T``/``W`` counters accumulate in locals that are
+  flushed back at every exit (normal, trap, or error).  The totals are
+  **bit-identical** to a traced run of the same program — both charge each
+  executed instruction 1 time unit plus the post-execution lengths of its
+  read and written registers — which ``tests/test_optimize.py`` pins.
 """
 
 from __future__ import annotations
@@ -55,52 +66,86 @@ def _as_vector(values: Sequence[int] | np.ndarray) -> np.ndarray:
     return arr
 
 
+_INT64_LIMIT = 2**63
+
+
+def _arith_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if a.size == 0:
+        return a + b
+    # fast path: the sum of the operand maxima fits, so no entry can wrap
+    if int(a.max()) + int(b.max()) < _INT64_LIMIT:
+        return a + b
+    with np.errstate(over="ignore"):
+        c = a + b
+    # registers hold naturals < 2**63, so a wrapped sum is exactly a
+    # negative signed result
+    if int(c.min()) < 0:
+        raise BVRAMError("overflow in +: result exceeds the int64 register width")
+    return c
+
+
+def _arith_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.maximum(a - b, 0)  # monus
+
+
+def _arith_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if a.size == 0:
+        return a * b
+    # fast path: the product of the operand maxima fits, so no entry can wrap
+    if int(a.max()) * int(b.max()) < _INT64_LIMIT:
+        return a * b
+    with np.errstate(over="ignore"):
+        c = a * b
+    # widening check: a wrapped product either goes negative or fails to
+    # divide back (c = a*b - k*2**64 with k >= 1 can never reach a*b)
+    if int(c.min()) < 0 or bool(
+        np.any(c // np.where(a == 0, 1, a) != np.where(a == 0, c, b))
+    ):
+        raise BVRAMError("overflow in *: result exceeds the int64 register width")
+    return c
+
+
+def _arith_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if np.any(b == 0):
+        raise BVRAMError("division by zero")
+    return a // b
+
+
+def _arith_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if np.any(b == 0):
+        raise BVRAMError("modulo by zero")
+    return a % b
+
+
+def _arith_shr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # numpy shifts by >= 64 bits are undefined behaviour; mathematically
+    # floor(a / 2**b) = 0 for any natural a < 2**63 once b >= 63
+    return np.where(b >= 63, 0, a >> np.minimum(b, 62))
+
+
+#: per-op kernels, shared by the traced loop, the untraced plan and ``_arith``
+_ARITH_FNS = {
+    "+": _arith_add,
+    "-": _arith_sub,
+    "*": _arith_mul,
+    "/": _arith_div,
+    "mod": _arith_mod,
+    ">>": _arith_shr,
+    "min": np.minimum,
+    "max": np.maximum,
+    "eq": lambda a, b: (a == b).astype(np.int64),
+    "le": lambda a, b: (a <= b).astype(np.int64),
+    "lt": lambda a, b: (a < b).astype(np.int64),
+}
+
+
 def _arith(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    fn = _ARITH_FNS.get(op)
+    if fn is None:
+        raise BVRAMError(f"unknown arithmetic op {op!r}")
     if a.shape != b.shape:
         raise BVRAMError(f"arith {op}: operands have different lengths {a.size} and {b.size}")
-    if op == "+":
-        with np.errstate(over="ignore"):
-            c = a + b
-        # registers hold naturals < 2**63, so a wrapped sum is exactly a
-        # negative signed result
-        if c.size and int(c.min()) < 0:
-            raise BVRAMError("overflow in +: result exceeds the int64 register width")
-        return c
-    if op == "-":
-        return np.maximum(a - b, 0)  # monus
-    if op == "*":
-        with np.errstate(over="ignore"):
-            c = a * b
-        # widening check: a wrapped product either goes negative or fails to
-        # divide back (c = a*b - k*2**64 with k >= 1 can never reach a*b)
-        if c.size and (
-            int(c.min()) < 0 or bool(np.any(c // np.where(a == 0, 1, a) != np.where(a == 0, c, b)))
-        ):
-            raise BVRAMError("overflow in *: result exceeds the int64 register width")
-        return c
-    if op == "/":
-        if np.any(b == 0):
-            raise BVRAMError("division by zero")
-        return a // b
-    if op == "mod":
-        if np.any(b == 0):
-            raise BVRAMError("modulo by zero")
-        return a % b
-    if op == ">>":
-        # numpy shifts by >= 64 bits are undefined behaviour; mathematically
-        # floor(a / 2**b) = 0 for any natural a < 2**63 once b >= 63
-        return np.where(b >= 63, 0, a >> np.minimum(b, 62))
-    if op == "min":
-        return np.minimum(a, b)
-    if op == "max":
-        return np.maximum(a, b)
-    if op == "eq":
-        return (a == b).astype(np.int64)
-    if op == "le":
-        return (a <= b).astype(np.int64)
-    if op == "lt":
-        return (a < b).astype(np.int64)
-    raise BVRAMError(f"unknown arithmetic op {op!r}")
+    return fn(a, b)
 
 
 def _un_arith(op: str, a: np.ndarray) -> np.ndarray:
@@ -251,6 +296,190 @@ def sbm_route_vec(
     return result
 
 
+# ---------------------------------------------------------------------------
+# The untraced fast path: programs pre-compiled into threaded plans
+# ---------------------------------------------------------------------------
+
+#: plan entry kinds
+_STEP = 0  # plain register op: fn(regs) executes it
+_JUMP = 1  # control flow: fn(regs) returns the next pc, or -1 to fall through
+_HALT = 2
+_TRAP = 3  # payload is the trap message
+
+
+def _build_plan(program: isa.Program) -> list[tuple]:
+    """Compile a program into ``(kind, payload, rw)`` tuples, one per instruction.
+
+    ``rw`` is the concatenation of the instruction's read and written
+    register indices — exactly the registers ``_charge`` sums over — so the
+    fast loop can account work without re-deriving them every step.
+    """
+    labels = program.labels
+    plan: list[tuple] = []
+    for instr in program.instructions:
+        rw = instr.registers_read() + instr.registers_written()
+        if isinstance(instr, isa.Arith):
+            dst, op, a, b = instr.dst, instr.op, instr.a, instr.b
+            fn = _ARITH_FNS[op]  # op already validated by Arith.__post_init__
+
+            def step(regs, dst=dst, op=op, a=a, b=b, fn=fn):
+                va, vb = regs[a], regs[b]
+                if va.shape != vb.shape:
+                    raise BVRAMError(
+                        f"arith {op}: operands have different lengths {va.size} and {vb.size}"
+                    )
+                regs[dst] = fn(va, vb)
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.Move):
+            dst, src = instr.dst, instr.src
+
+            # No BVRAM instruction mutates a register's array in place (every
+            # kernel allocates its output), so the untraced move can alias
+            # instead of copying — a list rebind, not a memcpy per phi move.
+            def step(regs, dst=dst, src=src):
+                regs[dst] = regs[src]
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.Select):
+            dst, src = instr.dst, instr.src
+
+            def step(regs, dst=dst, src=src):
+                v = regs[src]
+                regs[dst] = v[v != 0]
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.FlagMerge):
+            dst, flags, a, b = instr.dst, instr.flags, instr.a, instr.b
+
+            def step(regs, dst=dst, flags=flags, a=a, b=b):
+                regs[dst] = flag_merge_vec(regs[flags], regs[a], regs[b])
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.AppendI):
+            dst, a, b = instr.dst, instr.a, instr.b
+
+            def step(regs, dst=dst, a=a, b=b):
+                regs[dst] = np.concatenate([regs[a], regs[b]])
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.UnArith):
+            dst, op, src = instr.dst, instr.op, instr.src
+
+            def step(regs, dst=dst, op=op, src=src):
+                regs[dst] = _un_arith(op, regs[src])
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.LengthI):
+            dst, src = instr.dst, instr.src
+
+            def step(regs, dst=dst, src=src):
+                regs[dst] = np.array([regs[src].size], dtype=np.int64)
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.EnumerateI):
+            dst, src = instr.dst, instr.src
+
+            def step(regs, dst=dst, src=src):
+                regs[dst] = np.arange(regs[src].size, dtype=np.int64)
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.LoadEmpty):
+            dst = instr.dst
+
+            def step(regs, dst=dst):
+                regs[dst] = np.zeros(0, dtype=np.int64)
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.LoadConst):
+            if instr.value < 0:
+                raise BVRAMError("load_const: BVRAM registers hold natural numbers")
+            dst, arr = instr.dst, np.array([instr.value], dtype=np.int64)
+
+            def step(regs, dst=dst, arr=arr):
+                regs[dst] = arr.copy()
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.BmRoute):
+            dst, data, counts, bound = instr.dst, instr.data, instr.counts, instr.bound
+
+            def step(regs, dst=dst, data=data, counts=counts, bound=bound):
+                regs[dst] = bm_route_vec(regs[data], regs[counts], regs[bound])
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.SbmRoute):
+            dst, bound, counts, data, segments = (
+                instr.dst,
+                instr.bound,
+                instr.counts,
+                instr.data,
+                instr.segments,
+            )
+
+            def step(regs, dst=dst, bound=bound, counts=counts, data=data, segments=segments):
+                regs[dst] = sbm_route_vec(regs[bound], regs[counts], regs[data], regs[segments])
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.SegScan):
+            dst, op, data, segments = instr.dst, instr.op, instr.data, instr.segments
+
+            def step(regs, dst=dst, op=op, data=data, segments=segments):
+                regs[dst] = seg_scan_vec(op, regs[data], regs[segments])
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.SegReduce):
+            dst, op, data, segments = instr.dst, instr.op, instr.data, instr.segments
+
+            def step(regs, dst=dst, op=op, data=data, segments=segments):
+                regs[dst] = seg_reduce_vec(op, regs[data], regs[segments])
+
+            plan.append((_STEP, step, rw))
+        elif isinstance(instr, isa.Goto):
+            target = labels[instr.label]
+
+            def step(regs, target=target):
+                return target
+
+            plan.append((_JUMP, step, rw))
+        elif isinstance(instr, isa.GotoIfEmpty):
+            target, src = labels[instr.label], instr.src
+
+            def step(regs, target=target, src=src):
+                return target if regs[src].size == 0 else -1
+
+            plan.append((_JUMP, step, rw))
+        elif isinstance(instr, isa.Halt):
+            plan.append((_HALT, None, rw))
+        elif isinstance(instr, isa.Trap):
+            plan.append((_TRAP, instr.message, rw))
+        else:
+            raise BVRAMError(f"unknown instruction {instr!r}")
+    return plan
+
+
+def _plan_for(program: isa.Program) -> list[tuple]:
+    """Build (or fetch the cached) fast plan for ``program``.
+
+    The cache lives on the program object, with a snapshot of the exact
+    instruction objects it was built from: the snapshot keeps them alive (so
+    identity checks cannot be fooled by recycling) and any in-place edit of
+    the instruction list — append, replacement, reorder — fails the
+    element-wise identity scan and rebuilds.  The scan is a cheap ``is``
+    loop, far below the cost of executing even one vector instruction.
+    """
+    cached = getattr(program, "_fast_plan", None)
+    code = program.instructions
+    if cached is not None:
+        snapshot, plan = cached
+        if len(snapshot) == len(code) and all(
+            a is b for a, b in zip(snapshot, code)
+        ):
+            return plan
+    plan = _build_plan(program)
+    program._fast_plan = (tuple(code), plan)
+    return plan
+
+
 class BVRAM:
     """A Bounded Vector Random Access Machine (Section 2)."""
 
@@ -287,8 +516,15 @@ class BVRAM:
         program: isa.Program,
         inputs: Optional[Sequence[Sequence[int]]] = None,
         max_steps: int = 10_000_000,
+        record_trace: bool = True,
     ) -> RunResult:
-        """Execute ``program`` and return the result with T/W counters."""
+        """Execute ``program`` and return the result with T/W counters.
+
+        ``record_trace=False`` selects the untraced fast path: identical
+        ``T``/``W`` totals and final registers, but no per-instruction trace
+        (``RunResult.trace`` comes back empty) and substantially less
+        per-step interpreter overhead.
+        """
         program.validate()
         if program.n_registers > self.n_registers:
             raise BVRAMError(
@@ -305,6 +541,14 @@ class BVRAM:
         self.time = 0
         self.work = 0
         self.trace = []
+        if not record_trace:
+            self._run_untraced(program, max_steps)
+            return RunResult(
+                registers=[r.copy() for r in self.registers],
+                time=self.time,
+                work=self.work,
+                trace=[],
+            )
         pc = 0
         steps = 0
         code = program.instructions
@@ -422,6 +666,52 @@ class BVRAM:
             work=self.work,
             trace=list(self.trace),
         )
+
+    def _run_untraced(self, program: isa.Program, max_steps: int) -> None:
+        """The fast dispatch loop: threaded plan, local T/W accumulators.
+
+        Accounting parity with the traced loop: a raising instruction is not
+        charged (the traced loop charges after executing), ``trap`` is
+        charged before raising, and the accumulated totals are flushed back
+        to the machine on every exit path.
+        """
+        plan = _plan_for(program)
+        regs = self.registers
+        n = len(plan)
+        pc = 0
+        steps = 0
+        time = 0
+        work = 0
+        try:
+            while pc < n:
+                if steps >= max_steps:
+                    raise BVRAMError(
+                        f"exceeded {max_steps} steps (non-terminating program?)"
+                    )
+                steps += 1
+                kind, payload, rw = plan[pc]
+                pc += 1
+                if kind == _STEP:
+                    payload(regs)
+                    time += 1
+                    for r in rw:
+                        work += regs[r].size
+                elif kind == _JUMP:
+                    target = payload(regs)
+                    time += 1
+                    for r in rw:
+                        work += regs[r].size
+                    if target >= 0:
+                        pc = target
+                elif kind == _HALT:
+                    time += 1
+                    break
+                else:  # _TRAP
+                    time += 1
+                    raise BVRAMError(payload)
+        finally:
+            self.time = time
+            self.work = work
 
 
 def run_program(

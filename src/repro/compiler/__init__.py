@@ -58,9 +58,10 @@ from ..nsc import ast as A
 from ..nsc.typecheck import infer_function
 from ..nsc.types import Type
 from ..nsc.values import Value, from_python
-from .codegen import Emitter, decode_values, encode_values, field_count
+from .codegen import Emitter, decode_values, encode_values, field_count, reuse_registers
 from .flatten import Ctx, Flattener, rep_from_regs, rep_regs
 from .nsa import CompileError, block_size, hoist_projections, lower_function
+from .optimize import eliminate_dead_instructions, optimize_block
 
 __all__ = [
     "CompileError",
@@ -77,6 +78,7 @@ class CompiledProgram(Program):
     cod: Optional[Type] = None
     eps: float = 0.5
     nsa_size: int = 0
+    opt_level: int = 2
 
     def encode_input(self, value: object) -> list[list[int]]:
         """Marshal one S-object (or plain Python data) into the input registers."""
@@ -86,17 +88,28 @@ class CompiledProgram(Program):
     def decode_output(self, registers: Sequence) -> Value:
         """Rebuild the result S-object from the output registers."""
         assert self.cod is not None
-        fields = [list(map(int, registers[i])) for i in range(self.n_outputs)]
+        fields = [registers[i] for i in range(self.n_outputs)]
         return decode_values(fields, self.cod, 1)[0]
 
-    def run(self, value: object, max_steps: int = 10_000_000) -> tuple[Value, RunResult]:
-        """Execute on a fresh machine; returns (result S-object, T/W RunResult)."""
+    def run(
+        self, value: object, max_steps: int = 10_000_000, trace: bool = False
+    ) -> tuple[Value, RunResult]:
+        """Execute on a fresh machine; returns (result S-object, T/W RunResult).
+
+        ``trace=False`` (the default) takes the machine's untraced fast
+        path: ``T'``/``W'`` totals are bit-identical to a traced run, but no
+        per-instruction :class:`~repro.bvram.machine.TraceEntry` list is
+        built.  Pass ``trace=True`` when the result will be replayed on the
+        butterfly network or Brent-scheduled (they need the trace).
+        """
         machine = BVRAM(self.n_registers)
-        res = machine.run(self, self.encode_input(value), max_steps=max_steps)
+        res = machine.run(
+            self, self.encode_input(value), max_steps=max_steps, record_trace=trace
+        )
         return self.decode_output(res.registers), res
 
 
-def compile_nsc(fn: A.Function, eps: float = 0.5) -> CompiledProgram:
+def compile_nsc(fn: A.Function, eps: float = 0.5, opt_level: int = 2) -> CompiledProgram:
     """Compile a (typecheckable) NSC function to an executable BVRAM program.
 
     ``eps`` trades work for register pressure per Lemma 7.2 (``W' =
@@ -105,12 +118,27 @@ def compile_nsc(fn: A.Function, eps: float = 0.5) -> CompiledProgram:
     :class:`CompileError` on programs outside the supported fragment
     (named recursion, equality on non-scalar types, sequence-typed closures
     under ``map``).
+
+    ``opt_level`` selects the optimizing pipeline (see
+    :mod:`repro.compiler.optimize`); every level computes the same values,
+    and a higher level can only shrink the measured ``T'``/``W'``:
+
+    * ``0`` — naive PR 2 emission (the baseline);
+    * ``1`` — NSA-level passes: constant folding, copy propagation, CSE,
+      trap-preserving dead-code elimination;
+    * ``2`` (default) — additionally value-numbers the emitted stream
+      (segment-descriptor reuse), deletes dead instructions and reuses dead
+      registers by linear scan.
     """
+    if opt_level not in (0, 1, 2):
+        raise CompileError(f"opt_level must be 0, 1 or 2, got {opt_level!r}")
     ft = infer_function(fn)
     block = hoist_projections(lower_function(fn, ft.dom))
+    if opt_level >= 1:
+        block = optimize_block(block)
 
     n_in = field_count(ft.dom)
-    em = Emitter(reserved=n_in)
+    em = Emitter(reserved=n_in, value_number=opt_level >= 2)
     param = rep_from_regs(ft.dom, iter(range(n_in)))
     root_tpl = em.load_const(0)  # the root context has width 1
     fl = Flattener(em, eps)
@@ -122,16 +150,27 @@ def compile_nsc(fn: A.Function, eps: float = 0.5) -> CompiledProgram:
         em.move(t, dst=i)
     em.halt()
 
+    instructions, labels = em.instructions, em.labels
+    n_registers = max(em.n_regs, 1)
+    if opt_level >= 2:
+        instructions, labels = eliminate_dead_instructions(
+            instructions, labels, n_outputs=len(out_regs)
+        )
+        instructions, n_registers = reuse_registers(
+            instructions, labels, n_inputs=n_in, n_outputs=len(out_regs)
+        )
+
     prog = CompiledProgram(
-        instructions=em.instructions,
-        labels=em.labels,
-        n_registers=max(em.n_regs, 1),
+        instructions=instructions,
+        labels=labels,
+        n_registers=n_registers,
         n_inputs=n_in,
         n_outputs=len(out_regs),
         dom=ft.dom,
         cod=ft.cod,
         eps=eps,
         nsa_size=block_size(block),
+        opt_level=opt_level,
     )
     prog.validate()
     return prog

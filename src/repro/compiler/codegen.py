@@ -26,7 +26,10 @@ and that register image; width 1 gives the single-value convention used by
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import replace
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..bvram import isa
 from ..nsc.values import (
@@ -38,19 +41,40 @@ from ..nsc.values import (
     VPair,
     VSeq,
     VUnit,
+    nat_batch,
+    nat_seq_value,
 )
 from ..nsc.types import NatType, ProdType, SeqType, SumType, Type, UnitType
 from .nsa import CompileError
 
 
 class Emitter:
-    """Register allocator + label book-keeping + instruction stream."""
+    """Register allocator + label book-keeping + instruction stream.
 
-    def __init__(self, reserved: int = 0) -> None:
+    With ``value_number=True`` the emitter performs **local value numbering**
+    on the emitted stream: a pure instruction whose exact (opcode, operands)
+    was already emitted in the current straight-line region returns the
+    existing destination register instead of emitting a duplicate.  This is
+    the "segment-descriptor reuse" of the optimizing pipeline — the
+    flattener re-derives the same ``ones_like``/``select``/``seg_reduce``
+    vectors constantly, and each hit removes one instruction (and its work)
+    from every execution of that region.
+
+    Soundness: the table is cleared at every label (join points may be
+    reached with different register states, e.g. loop back-edges), and any
+    write to an *existing* register (``move`` with an explicit ``dst``)
+    evicts the entries that mention it.  ``move`` itself is never cached —
+    loop phi copies must stay distinct.  :meth:`vn_checkpoint` /
+    :meth:`vn_restore` let the flattener carry the table across a
+    trap-guard's label, whose only non-fallthrough predecessor raises.
+    """
+
+    def __init__(self, reserved: int = 0, value_number: bool = False) -> None:
         self.instructions: list[isa.Instruction] = []
         self.labels: dict[str, int] = {}
         self.n_regs = reserved
         self._label_counter = 0
+        self._vn: Optional[dict[tuple, int]] = {} if value_number else None
 
     # -- registers / labels -------------------------------------------------
 
@@ -67,81 +91,117 @@ class Emitter:
         if label in self.labels:
             raise CompileError(f"duplicate label {label!r}")
         self.labels[label] = len(self.instructions)
+        if self._vn is not None:
+            self._vn.clear()
 
     def emit(self, instr: isa.Instruction) -> None:
         self.instructions.append(instr)
 
+    # -- value numbering ----------------------------------------------------
+
+    def vn_checkpoint(self) -> Optional[dict[tuple, int]]:
+        """Snapshot the value-numbering table (before emitting a trap guard)."""
+        return dict(self._vn) if self._vn is not None else None
+
+    def vn_restore(self, snapshot: Optional[dict[tuple, int]]) -> None:
+        """Restore a snapshot taken by :meth:`vn_checkpoint`."""
+        if self._vn is not None and snapshot is not None:
+            self._vn = snapshot
+
+    def _invalidate(self, dst: int) -> None:
+        """Evict value-numbering facts touching an overwritten register."""
+        if self._vn:
+            self._vn = {
+                k: v for k, v in self._vn.items() if v != dst and dst not in k
+            }
+
+    def _cached(self, key: tuple, instr_factory) -> int:
+        """Emit a pure instruction into a fresh register, or reuse a VN hit."""
+        if self._vn is not None:
+            hit = self._vn.get(key)
+            if hit is not None:
+                return hit
+        dst = self.reg()
+        self.emit(instr_factory(dst))
+        if self._vn is not None:
+            self._vn[key] = dst
+        return dst
+
     # -- one wrapper per instruction (each returns its destination) ---------
 
     def move(self, src: int, dst: int | None = None) -> int:
-        dst = self.reg() if dst is None else dst
+        if dst is None:
+            dst = self.reg()
+        else:
+            self._invalidate(dst)
         self.emit(isa.Move(dst=dst, src=src))
         return dst
 
     def arith(self, op: str, a: int, b: int) -> int:
-        dst = self.reg()
-        self.emit(isa.Arith(dst=dst, op=op, a=a, b=b))
-        return dst
+        return self._cached(
+            ("arith", op, a, b), lambda dst: isa.Arith(dst=dst, op=op, a=a, b=b)
+        )
 
     def un_arith(self, op: str, src: int) -> int:
-        dst = self.reg()
-        self.emit(isa.UnArith(dst=dst, op=op, src=src))
-        return dst
+        return self._cached(
+            ("un_arith", op, src), lambda dst: isa.UnArith(dst=dst, op=op, src=src)
+        )
 
     def load_const(self, value: int) -> int:
-        dst = self.reg()
-        self.emit(isa.LoadConst(dst=dst, value=value))
-        return dst
+        return self._cached(
+            ("load_const", value), lambda dst: isa.LoadConst(dst=dst, value=value)
+        )
 
     def load_empty(self) -> int:
-        dst = self.reg()
-        self.emit(isa.LoadEmpty(dst=dst))
-        return dst
+        return self._cached(("load_empty",), lambda dst: isa.LoadEmpty(dst=dst))
 
     def append(self, a: int, b: int) -> int:
-        dst = self.reg()
-        self.emit(isa.AppendI(dst=dst, a=a, b=b))
-        return dst
+        return self._cached(
+            ("append", a, b), lambda dst: isa.AppendI(dst=dst, a=a, b=b)
+        )
 
     def length(self, src: int) -> int:
-        dst = self.reg()
-        self.emit(isa.LengthI(dst=dst, src=src))
-        return dst
+        return self._cached(("length", src), lambda dst: isa.LengthI(dst=dst, src=src))
 
     def enumerate_(self, src: int) -> int:
-        dst = self.reg()
-        self.emit(isa.EnumerateI(dst=dst, src=src))
-        return dst
+        return self._cached(
+            ("enumerate", src), lambda dst: isa.EnumerateI(dst=dst, src=src)
+        )
 
     def bm_route(self, data: int, counts: int, bound: int) -> int:
-        dst = self.reg()
-        self.emit(isa.BmRoute(dst=dst, data=data, counts=counts, bound=bound))
-        return dst
+        return self._cached(
+            ("bm_route", data, counts, bound),
+            lambda dst: isa.BmRoute(dst=dst, data=data, counts=counts, bound=bound),
+        )
 
     def sbm_route(self, bound: int, counts: int, data: int, segments: int) -> int:
-        dst = self.reg()
-        self.emit(isa.SbmRoute(dst=dst, bound=bound, counts=counts, data=data, segments=segments))
-        return dst
+        return self._cached(
+            ("sbm_route", bound, counts, data, segments),
+            lambda dst: isa.SbmRoute(
+                dst=dst, bound=bound, counts=counts, data=data, segments=segments
+            ),
+        )
 
     def select(self, src: int) -> int:
-        dst = self.reg()
-        self.emit(isa.Select(dst=dst, src=src))
-        return dst
+        return self._cached(("select", src), lambda dst: isa.Select(dst=dst, src=src))
 
     def flag_merge(self, flags: int, a: int, b: int) -> int:
-        dst = self.reg()
-        self.emit(isa.FlagMerge(dst=dst, flags=flags, a=a, b=b))
-        return dst
+        return self._cached(
+            ("flag_merge", flags, a, b),
+            lambda dst: isa.FlagMerge(dst=dst, flags=flags, a=a, b=b),
+        )
 
     def seg_scan(self, op: str, data: int, segments: int) -> int:
-        dst = self.reg()
-        self.emit(isa.SegScan(dst=dst, op=op, data=data, segments=segments))
-        return dst
+        return self._cached(
+            ("seg_scan", op, data, segments),
+            lambda dst: isa.SegScan(dst=dst, op=op, data=data, segments=segments),
+        )
 
     def seg_reduce(self, op: str, data: int, segments: int) -> int:
-        dst = self.reg()
-        self.emit(isa.SegReduce(dst=dst, op=op, data=data, segments=segments))
-        return dst
+        return self._cached(
+            ("seg_reduce", op, data, segments),
+            lambda dst: isa.SegReduce(dst=dst, op=op, data=data, segments=segments),
+        )
 
     def goto(self, label: str) -> None:
         self.emit(isa.Goto(label=label))
@@ -154,6 +214,107 @@ class Emitter:
 
     def halt(self) -> None:
         self.emit(isa.Halt())
+
+
+# ---------------------------------------------------------------------------
+# Linear-scan register reuse
+# ---------------------------------------------------------------------------
+
+
+def _renumber(instr: isa.Instruction, mapping: dict[int, int]) -> isa.Instruction:
+    fields = isa.REG_FIELDS.get(type(instr))
+    if not fields:
+        return instr
+    return replace(instr, **{f: mapping[getattr(instr, f)] for f in fields})
+
+
+def reuse_registers(
+    instructions: list[isa.Instruction],
+    labels: dict[str, int],
+    n_inputs: int,
+    n_outputs: int,
+) -> tuple[list[isa.Instruction], int]:
+    """Renumber registers by linear scan so dead ones are reused.
+
+    The emitter allocates a fresh register per value (SSA-style), which is
+    clean but means a quicksort program asks for thousands of registers.
+    This pass computes a conservative live interval per register — first to
+    last textual occurrence, extended to cover any loop region
+    ``[label, backward-jump]`` the interval overlaps — and reassigns numbers
+    with a free pool.  Inputs and outputs keep their ABI positions
+    (registers ``0..max(n_inputs, n_outputs)-1`` are pinned) and an interval
+    never shares a number with one ending at the same instruction, so an
+    instruction's destination cannot alias its operands: every register of
+    every executed instruction holds exactly the vector it held in the
+    unoptimized program, which keeps the ``W'`` accounting bit-identical.
+    """
+    n = len(instructions)
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+
+    def touch(reg: int, pos: int) -> None:
+        if reg not in first:
+            first[reg] = pos
+        first[reg] = min(first[reg], pos)
+        last[reg] = max(last.get(reg, pos), pos)
+
+    for i, instr in enumerate(instructions):
+        for r in instr.registers_read():
+            touch(r, i)
+        for r in instr.registers_written():
+            touch(r, i)
+
+    pinned = max(n_inputs, n_outputs)
+    for r in range(n_inputs):
+        touch(r, -1)  # inputs are live from before the first instruction
+    for r in range(n_outputs):
+        touch(r, n)  # outputs are read after the last instruction
+
+    # loop regions: [target, jump-position] for every backward jump
+    regions = [
+        (labels[instr.label], i)
+        for i, instr in enumerate(instructions)
+        if isinstance(instr, (isa.Goto, isa.GotoIfEmpty)) and labels[instr.label] <= i
+    ]
+    changed = True
+    while changed:  # extending into one region may reach another
+        changed = False
+        for lo, hi in regions:
+            for r in first:
+                if first[r] <= hi and last[r] >= lo:  # interval overlaps region
+                    if first[r] > lo or last[r] < hi:
+                        first[r] = min(first[r], lo)
+                        last[r] = max(last[r], hi)
+                        changed = True
+
+    mapping: dict[int, int] = {r: r for r in range(pinned)}
+    free: list[int] = []
+    next_reg = pinned
+    active: list[tuple[int, int]] = []  # (end, new_reg), kept sorted
+    for old in sorted((r for r in first if r not in mapping), key=lambda r: first[r]):
+        start = first[old]
+        while active and active[0][0] < start:  # strict: end == start conflicts
+            free.append(active.pop(0)[1])
+        if free:
+            new = min(free)
+            free.remove(new)
+        else:
+            new = next_reg
+            next_reg += 1
+        mapping[old] = new
+        entry = (last[old], new)
+        lo, hi = 0, len(active)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if active[mid][0] < entry[0]:
+                lo = mid + 1
+            else:
+                hi = mid
+        active.insert(lo, entry)
+
+    out = [_renumber(instr, mapping) for instr in instructions]
+    n_registers = max(max(mapping.values(), default=0) + 1, pinned, 1)
+    return out, n_registers
 
 
 # ---------------------------------------------------------------------------
@@ -222,11 +383,20 @@ def encode_values(values: Sequence[Value], t: Type) -> list[list[int]]:
 
 
 def decode_values(fields: Sequence[Sequence[int]], t: Type, count: int) -> list[Value]:
-    """Inverse of :func:`encode_values` (``fields`` in canonical order)."""
+    """Inverse of :func:`encode_values` (``fields`` in canonical order).
+
+    Accepts plain sequences or NumPy int64 vectors (machine registers are
+    passed in directly, so 20k-element outputs decode without a Python-level
+    per-element ``int(...)`` round-trip).
+    """
     out, rest = _decode(list(fields), t, count)
     if rest:
         raise CompileError(f"{len(rest)} unconsumed output fields while decoding {t}")
     return out
+
+
+def _as_ints(field: Sequence[int]) -> list[int]:
+    return field.tolist() if isinstance(field, np.ndarray) else [int(x) for x in field]
 
 
 def _decode(
@@ -238,7 +408,7 @@ def _decode(
         head, rest = fields[0], fields[1:]
         if len(head) != count:
             raise CompileError(f"decoding N: expected {count} entries, got {len(head)}")
-        return [VNat(int(x)) for x in head], rest
+        return nat_batch(_as_ints(head)), rest
     if isinstance(t, ProdType):
         lefts, rest = _decode(fields, t.left, count)
         rights, rest = _decode(rest, t.right, count)
@@ -247,6 +417,8 @@ def _decode(
         tags, rest = fields[0], fields[1:]
         if len(tags) != count:
             raise CompileError(f"decoding a sum: expected {count} tags, got {len(tags)}")
+        if isinstance(tags, np.ndarray):
+            tags = tags.tolist()
         n_left = sum(1 for x in tags if x)
         lefts, rest = _decode(rest, t.left, n_left)
         rights, rest = _decode(rest, t.right, count - n_left)
@@ -256,12 +428,26 @@ def _decode(
         segs, rest = fields[0], fields[1:]
         if len(segs) != count:
             raise CompileError(f"decoding a sequence: expected {count} segments, got {len(segs)}")
+        if isinstance(segs, np.ndarray):
+            segs = segs.tolist()
         total = int(sum(segs))
-        items, rest = _decode(rest, t.elem, total)
         out: list[Value] = []
         pos = 0
+        if isinstance(t.elem, NatType):
+            # flat [N]: slice the data field directly into interned-nat seqs
+            data, rest = rest[0], rest[1:]
+            if len(data) != total:
+                raise CompileError(f"decoding [N]: expected {total} entries, got {len(data)}")
+            ints = _as_ints(data)
+            for s in segs:
+                s = int(s)
+                out.append(nat_seq_value(ints[pos : pos + s]))
+                pos += s
+            return out, rest
+        items, rest = _decode(rest, t.elem, total)
         for s in segs:
-            out.append(VSeq(items[pos : pos + int(s)]))
-            pos += int(s)
+            s = int(s)
+            out.append(VSeq(items[pos : pos + s]))
+            pos += s
         return out, rest
     raise CompileError(f"unknown type {t!r}")

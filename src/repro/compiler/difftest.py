@@ -70,6 +70,7 @@ class DiffRecord:
     bvram_work: int
     instructions: int
     registers: int
+    opt_level: int = 2
 
     @property
     def time_ok(self) -> bool:
@@ -96,11 +97,16 @@ def run_differential(
     arg: object,
     eps: float = 0.5,
     compiled: CompiledProgram | None = None,
+    opt_level: int = 2,
 ) -> DiffRecord:
-    """Run ``fn`` through both the interpreter and the compiled BVRAM."""
+    """Run ``fn`` through both the interpreter and the compiled BVRAM.
+
+    The compiled side uses the untraced fast path — its ``T'``/``W'``
+    totals are bit-identical to a traced run.
+    """
     value = from_python(arg) if not isinstance(arg, Value) else arg
     interp = apply_function(fn, value)
-    prog = compiled if compiled is not None else compile_nsc(fn, eps=eps)
+    prog = compiled if compiled is not None else compile_nsc(fn, eps=eps, opt_level=opt_level)
     result, run = prog.run(value)
     return DiffRecord(
         name=name,
@@ -112,6 +118,7 @@ def run_differential(
         bvram_work=run.work,
         instructions=len(prog),
         registers=prog.n_registers,
+        opt_level=prog.opt_level,
     )
 
 
@@ -200,11 +207,11 @@ def suite() -> list[tuple[str, A.Function, list[object]]]:
     ]
 
 
-def run_suite(eps: float = 0.5) -> list[DiffRecord]:
+def run_suite(eps: float = 0.5, opt_level: int = 2) -> list[DiffRecord]:
     """Differential-run every suite program on every input at one ``eps``."""
     records = []
     for name, fn, args in suite():
-        prog = compile_nsc(fn, eps=eps)
+        prog = compile_nsc(fn, eps=eps, opt_level=opt_level)
         for i, arg in enumerate(args):
             records.append(
                 run_differential(f"{name}[{i}]", fn, arg, eps=eps, compiled=prog)

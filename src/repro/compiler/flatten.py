@@ -178,11 +178,19 @@ class Flattener:
         return em.bm_route(data=data, counts=count, bound=ctx.template)
 
     def trap_unless_empty(self, probe: int, message: str) -> None:
-        """Raise ``BVRAMError(message)`` at run time iff ``probe`` is non-empty."""
+        """Raise ``BVRAMError(message)`` at run time iff ``probe`` is non-empty.
+
+        The ``ok`` label's only predecessors are the fallthrough and the
+        guard jump itself — both reach it with identical register state, and
+        the trap path never returns — so the emitter's value-numbering table
+        survives the label (checkpoint/restore instead of the usual clear).
+        """
+        snapshot = self.em.vn_checkpoint()
         ok = self.em.new_label("ok")
         self.em.goto_if_empty(ok, probe)
         self.em.trap(message)
         self.em.mark(ok)
+        self.em.vn_restore(snapshot)
 
     def pack_field(self, data: int, mask: int, ones: Optional[int] = None) -> int:
         """Keep the entries of ``data`` at the non-zero (0/1) ``mask`` positions.

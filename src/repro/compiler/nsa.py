@@ -266,6 +266,38 @@ class NSplit(NOp):
         return (self.data, self.counts)
 
 
+#: operand (NVar) fields per op class — the structural companion to
+#: :meth:`NOp.operands`, used by the optimizer for substitution and
+#: value-numbering keys.
+OPERAND_FIELDS: dict[type, tuple[str, ...]] = {
+    NBin: ("a", "b"),
+    NUn: ("a",),
+    NEq: ("a", "b"),
+    NPair: ("a", "b"),
+    NProj: ("a",),
+    NInl: ("a",),
+    NInr: ("a",),
+    NCase: ("scrut",),
+    NMap: ("src",),
+    NWhile: ("init",),
+    NSingle: ("a",),
+    NAppend: ("a", "b"),
+    NFlatten: ("a",),
+    NLength: ("a",),
+    NGet: ("a",),
+    NZip: ("a", "b"),
+    NEnumerate: ("a",),
+    NSplit: ("data", "counts"),
+}
+
+#: sub-block fields per op class — the companion to :meth:`NOp.blocks`.
+BLOCK_FIELDS: dict[type, tuple[str, ...]] = {
+    NCase: ("left", "right"),
+    NMap: ("body",),
+    NWhile: ("pred", "body"),
+}
+
+
 @dataclass(frozen=True)
 class Bind:
     dst: NVar

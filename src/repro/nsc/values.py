@@ -204,6 +204,38 @@ TRUE = VInl(UNIT_VALUE)
 #: ``false = inr(())``
 FALSE = VInr(UNIT_VALUE)
 
+#: VNat is immutable and compared by value, so small naturals are interned —
+#: decoding a compiled run's output builds tens of thousands of them.
+_INTERN_LIMIT = 4096
+_SMALL_NATS = tuple(VNat(i) for i in range(_INTERN_LIMIT))
+
+
+def cached_nat(n: int) -> VNat:
+    """A (possibly shared) VNat for ``n`` — the fast constructor."""
+    if 0 <= n < _INTERN_LIMIT:
+        return _SMALL_NATS[n]
+    return VNat(n)
+
+
+def nat_batch(values: Sequence[int]) -> list[VNat]:
+    """Build many VNats at once, hitting the intern table where possible."""
+    small = _SMALL_NATS
+    limit = _INTERN_LIMIT
+    return [small[n] if 0 <= n < limit else VNat(n) for n in values]
+
+
+def nat_seq_value(values: Sequence[int]) -> VSeq:
+    """Build a ``[N]`` S-object from ints without the per-element size walk.
+
+    Every element has size 1, so the sequence's cached size is
+    ``1 + len(values)`` — constructing through ``VSeq.__init__`` would
+    recompute that with a 20k-element Python ``sum``.
+    """
+    v = VSeq.__new__(VSeq)
+    object.__setattr__(v, "items", tuple(nat_batch(values)))
+    object.__setattr__(v, "size", 1 + len(values))
+    return v
+
 
 def nat(n: int) -> VNat:
     """Build a natural-number value."""
