@@ -1,0 +1,123 @@
+"""E10 — batched serving: requests/sec with the batch-segment context.
+
+The serving scenario the ROADMAP aims at: many independent small requests
+against one compiled program.  Two claims become measurable:
+
+* **batching is one more segment level** — ``run_batch`` packs B requests
+  into a single flattened machine run (``compile_nsc(batch_axis=True)``),
+  so the per-instruction dispatch, marshalling and machine-setup overhead
+  that dominates small inputs is amortised over the whole batch.  The
+  acceptance bar: **>= 5x requests/sec at batch 64** versus a loop of
+  single-input ``run()`` calls on at least two workloads, with batched
+  output values exactly equal to the per-input runs;
+* **batched cost is max, not sum** — loops synchronise across the batch, so
+  the batched ``T'`` tracks the *slowest* request (plus stage overhead)
+  rather than the sum of all requests' times, while ``W'`` scales with the
+  total data.  Both counters are deterministic and feed the perf-regression
+  gate.
+
+Workloads: per-request inputs are deliberately tiny (8-16 naturals) — the
+regime where Python dispatch dominates the NumPy kernels and a production
+server would batch.
+"""
+
+import common
+
+from repro.analysis import format_table
+from repro.bvram import BVRAM
+from repro.compiler import compile_nsc
+from repro.compiler.batch import batched_program
+from repro.compiler.difftest import _collatz_steps, _filter_lt, _map_affine
+from repro.nsc import from_python, lib
+
+BATCH_SIZES = (1, 8, 64, 512)
+
+
+def _workloads():
+    r = common.rng(10)
+    return [
+        ("map_affine", _map_affine(), [[r.randrange(997) for _ in range(12)] for _ in range(512)]),
+        ("filter_lt", _filter_lt(499), [[r.randrange(997) for _ in range(12)] for _ in range(512)]),
+        ("reduce_add", lib.reduce_add(), [[r.randrange(1000) for _ in range(16)] for _ in range(512)]),
+        ("collatz", _collatz_steps(), [[r.randrange(1, 512) for _ in range(8)] for _ in range(512)]),
+    ]
+
+
+def test_e10_serving_throughput(benchmark):
+    rows = []
+    speedups_at_64 = {}
+    for name, fn, requests in _workloads():
+        prog = compile_nsc(fn)
+        prog.run(requests[0])  # warm the fused plan
+        prog.run_batch(requests[:2])  # warm the batched twin
+        for bsz in BATCH_SIZES:
+            batch = requests[:bsz]
+            # identical best-of-N on BOTH sides (no bias toward either mode);
+            # fewer repeats at scale only to bound the looped side's wall time
+            repeat = 3 if bsz <= 8 else (2 if bsz == 64 else 1)
+            t_loop, looped = common.wall(
+                lambda batch=batch: [prog.run(v)[0] for v in batch], repeat=repeat
+            )
+            t_batch, batched = common.wall(
+                lambda batch=batch: prog.run_batch(batch), repeat=repeat
+            )
+            assert batched == looped, f"{name} at batch {bsz}: values diverge"
+            rps_loop = bsz / t_loop
+            rps_batch = bsz / t_batch
+            if bsz == 64:
+                speedups_at_64[name] = rps_batch / rps_loop
+            common.record(
+                f"e10/serving/{name}/batch{bsz}",
+                wall_s=t_batch,
+                looped_wall_s=t_loop,
+                requests_per_s=round(rps_batch),
+                looped_requests_per_s=round(rps_loop),
+                opt_level=prog.opt_level,
+            )
+            rows.append(
+                [name, bsz, f"{rps_loop:,.0f}", f"{rps_batch:,.0f}",
+                 f"{rps_batch / rps_loop:.1f}x"]
+            )
+    print("\nE10  batched serving: looped run() vs run_batch (requests/sec)")
+    print(format_table(["workload", "batch", "loop req/s", "batch req/s", "speedup"], rows))
+    fast = [n for n, s in speedups_at_64.items() if s >= 5.0]
+    assert len(fast) >= 2, (
+        f"expected >=5x requests/sec at batch 64 on >=2 workloads, got {speedups_at_64}"
+    )
+    prog = compile_nsc(_map_affine())
+    batch = _workloads()[0][2][:64]
+    prog.run_batch(batch)
+    benchmark(lambda: prog.run_batch(batch))
+
+
+def test_e10_batched_cost_is_max_not_sum(benchmark):
+    """Batched T' tracks the slowest request, not the sum of all requests.
+
+    Loops synchronise across batch slots (a slot that finishes early rides
+    along in the Lemma 7.2 working set), so the batched instruction count
+    stays within a small factor of the single-request maximum — while a
+    serving loop pays the *sum*.  W' does scale with total data, which the
+    deterministic records pin for the regression gate.
+    """
+    rows = []
+    for name, fn, requests in _workloads():
+        prog = compile_nsc(fn)
+        twin = batched_program(prog)
+        batch = requests[:64]
+        singles = [prog.run(v)[1] for v in batch]
+        t_max = max(r.time for r in singles)
+        t_sum = sum(r.time for r in singles)
+        machine = BVRAM(twin.n_registers)
+        res = machine.run(
+            twin,
+            twin.encode_batch_input([from_python(v) for v in batch]),
+            record_trace=False,
+        )
+        assert res.time < t_sum / 4, f"{name}: batched T' should beat the summed loop"
+        common.record(
+            f"e10/costs/{name}/batch64", time=res.time, work=res.work, opt_level=2
+        )
+        rows.append([name, t_max, t_sum, res.time, res.work])
+    print("\nE10b batched T' vs per-request max/sum at batch 64")
+    print(format_table(["workload", "max T'", "sum T'", "batch T'", "batch W'"], rows))
+    benchmark(lambda: compile_nsc(_map_affine(), batch_axis=True))

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every ``bench_e*.py`` experiment and emit ``BENCH_PR3.json``.
+"""Run every ``bench_e*.py`` experiment and emit ``BENCH_PR4.json``.
 
 This is the perf-regression harness the CI job runs:
 
@@ -8,13 +8,16 @@ This is the perf-regression harness the CI job runs:
    pointing at a scratch file — the experiments' :func:`common.record` calls
    land there as JSON lines;
 2. the per-experiment wall-clock and records are aggregated into one
-   machine-readable JSON document (default: ``BENCH_PR3.json`` at the repo
+   machine-readable JSON document (default: ``BENCH_PR4.json`` at the repo
    root), suitable for uploading as a workflow artifact and for committing
    as the next baseline;
 3. with ``--check``, the document is compared against the committed baseline
    (default: ``benchmarks/bench_baseline.json``): the job **fails** when an
    experiment's wall-clock, or any deterministic ``time``/``work`` counter
-   in a matching record, regresses by more than ``--factor`` (default 2x).
+   in a matching record, regresses by more than ``--factor`` (default 2x);
+4. with ``--update-baseline``, the fresh document is also written to the
+   baseline path — refreshing ``benchmarks/bench_baseline.json`` after an
+   intentional perf change is one command instead of hand-edited JSON.
 
 The ``time``/``work`` counters are exact machine/Definition 3.1 costs and
 compare directly.  Wall-clock compares as each experiment's **share of the
@@ -25,8 +28,9 @@ relative to its siblings inflates its share and fails the gate.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py            # write BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_all.py            # write BENCH_PR4.json
     PYTHONPATH=src python benchmarks/run_all.py --check    # + regression gate
+    PYTHONPATH=src python benchmarks/run_all.py --update-baseline  # refresh baseline
 """
 
 from __future__ import annotations
@@ -145,17 +149,28 @@ def check(payload: dict, baseline_path: str, factor: float) -> int:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    ap.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR3.json"))
+    ap.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR4.json"))
     ap.add_argument(
         "--baseline", default=os.path.join(BENCH_DIR, "bench_baseline.json")
     )
     ap.add_argument("--check", action="store_true", help="enable the regression gate")
     ap.add_argument("--factor", type=float, default=2.0)
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="also write the fresh results to --baseline (one-command refresh)",
+    )
     args = ap.parse_args()
     payload = collect(args.out)
+    rc = 0
     if args.check:
-        return check(payload, args.baseline, args.factor)
-    return 0
+        rc = check(payload, args.baseline, args.factor)
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[run_all] baseline updated: {args.baseline}")
+    return rc
 
 
 if __name__ == "__main__":

@@ -15,10 +15,15 @@ Execution has two modes:
   pre-compiled once into a threaded plan of per-instruction closures
   (cached on the program object), no :class:`TraceEntry` objects are
   allocated, and the ``T``/``W`` counters accumulate in locals that are
-  flushed back at every exit (normal, trap, or error).  The totals are
-  **bit-identical** to a traced run of the same program — both charge each
-  executed instruction 1 time unit plus the post-execution lengths of its
-  read and written registers — which ``tests/test_optimize.py`` pins.
+  flushed back at every exit (normal, trap, or error).  By default the plan
+  is additionally **block-fused** (:mod:`repro.bvram.fuse`): maximal
+  straight-line runs of non-jump instructions execute as one *fused* step
+  function — a single dispatch per block instead of one per instruction —
+  with ``fuse=False`` selecting the per-instruction plan.  In every mode
+  the totals are **bit-identical** to a traced run of the same program —
+  each executed instruction is charged 1 time unit plus the post-execution
+  lengths of its read and written registers — which ``tests/test_optimize.py``
+  and ``tests/test_batch.py`` pin.
 """
 
 from __future__ import annotations
@@ -54,7 +59,15 @@ class RunResult:
 
     def output(self, i: int = 0) -> list[int]:
         """The ``i``-th output register as a Python list."""
-        return [int(x) for x in self.registers[i]]
+        return self.registers[i].tolist()
+
+    def output_array(self, i: int = 0) -> np.ndarray:
+        """The ``i``-th output register as the underlying int64 vector.
+
+        Zero-copy: internal callers (marshalling, benchmarks) must treat the
+        array as read-only.
+        """
+        return self.registers[i]
 
 
 def _as_vector(values: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -305,6 +318,7 @@ _STEP = 0  # plain register op: fn(regs) executes it
 _JUMP = 1  # control flow: fn(regs) returns the next pc, or -1 to fall through
 _HALT = 2
 _TRAP = 3  # payload is the trap message
+_BLOCK = 4  # fused straight-line block: fn(regs, partial) returns (time, work)
 
 
 def _build_plan(program: isa.Program) -> list[tuple]:
@@ -498,7 +512,11 @@ class BVRAM:
         self.registers[i] = _as_vector(values)
 
     def register(self, i: int) -> list[int]:
-        return [int(x) for x in self.registers[i]]
+        return self.registers[i].tolist()
+
+    def register_array(self, i: int) -> np.ndarray:
+        """Register ``i`` as the underlying int64 vector (zero-copy, read-only)."""
+        return self.registers[i]
 
     # -- execution ----------------------------------------------------------
     def _charge(self, opcode: str, instr: isa.Instruction, extra: int = 0) -> None:
@@ -517,13 +535,18 @@ class BVRAM:
         inputs: Optional[Sequence[Sequence[int]]] = None,
         max_steps: int = 10_000_000,
         record_trace: bool = True,
+        fuse: bool = True,
     ) -> RunResult:
         """Execute ``program`` and return the result with T/W counters.
 
         ``record_trace=False`` selects the untraced fast path: identical
         ``T``/``W`` totals and final registers, but no per-instruction trace
         (``RunResult.trace`` comes back empty) and substantially less
-        per-step interpreter overhead.
+        per-step interpreter overhead.  The untraced path runs the
+        **block-fused** plan by default (one dispatch per straight-line run
+        of instructions, see :mod:`repro.bvram.fuse`); ``fuse=False`` keeps
+        the per-instruction plan — same totals, more dispatch.  ``fuse`` is
+        ignored in traced mode, which needs per-instruction entries.
         """
         program.validate()
         if program.n_registers > self.n_registers:
@@ -542,7 +565,10 @@ class BVRAM:
         self.work = 0
         self.trace = []
         if not record_trace:
-            self._run_untraced(program, max_steps)
+            if fuse:
+                self._run_fused(program, max_steps)
+            else:
+                self._run_untraced(program, max_steps)
             return RunResult(
                 registers=[r.copy() for r in self.registers],
                 time=self.time,
@@ -704,6 +730,76 @@ class BVRAM:
                     if target >= 0:
                         pc = target
                 elif kind == _HALT:
+                    time += 1
+                    break
+                else:  # _TRAP
+                    time += 1
+                    raise BVRAMError(payload)
+        finally:
+            self.time = time
+            self.work = work
+
+    def _run_fused(self, program: isa.Program, max_steps: int) -> None:
+        """The block-fused dispatch loop: one call per straight-line block.
+
+        Identical accounting to :meth:`_run_untraced` — each instruction
+        inside a fused block is charged 1 time unit plus the post-execution
+        lengths of its read/written registers, summed per block in the fused
+        closure.  A block whose ``j``-th instruction raises reports the
+        totals of its first ``j - 1`` instructions through the shared
+        ``partial`` cell (the raising instruction itself is not charged,
+        matching the traced loop), so error-path totals stay bit-identical.
+        """
+        from .fuse import fused_plan_for
+
+        plan = fused_plan_for(program)
+        regs = self.registers
+        n = len(plan)
+        pc = 0
+        steps = 0
+        time = 0
+        work = 0
+        partial = [0, 0]
+        try:
+            while pc < n:
+                if steps >= max_steps:
+                    raise BVRAMError(
+                        f"exceeded {max_steps} steps (non-terminating program?)"
+                    )
+                kind, payload, extra = plan[pc]
+                pc += 1
+                if kind == _BLOCK:
+                    if steps + extra > max_steps:
+                        # the budget expires mid-block: drive the block
+                        # per-instruction so the run stops (and charges) at
+                        # exactly the instruction the unfused loop stops at
+                        for fn, rw in payload.steps[: max_steps - steps]:
+                            fn(regs)
+                            time += 1
+                            for r in rw:
+                                work += regs[r].size
+                        raise BVRAMError(
+                            f"exceeded {max_steps} steps (non-terminating program?)"
+                        )
+                    steps += extra
+                    try:
+                        t, w = payload(regs, partial)
+                    except BaseException:
+                        time += partial[0]
+                        work += partial[1]
+                        raise
+                    time += t
+                    work += w
+                elif kind == _JUMP:
+                    steps += 1
+                    target = payload(regs)
+                    time += 1
+                    for r in extra:
+                        work += regs[r].size
+                    if target >= 0:
+                        pc = target
+                elif kind == _HALT:
+                    steps += 1
                     time += 1
                     break
                 else:  # _TRAP

@@ -40,6 +40,10 @@ Front door::
     value, run = prog.run(from_python([3, 1, 2]))
     print(value, run.time, run.work)      # T' and W' per the Section 2 costs
 
+    outs = prog.run_batch([x1, x2, x3])   # B requests, ONE machine run: the
+                                          # batch is one more segment level
+                                          # (see repro.compiler.batch)
+
 ``eps`` is realised at run time as ``n^eps`` via repeated integer square
 roots, so it is quantised to ``2**-k`` (``1, 0.5, 0.25, ...``).  Programs
 using named recursion must first pass through the Theorem 4.2 translation
@@ -52,18 +56,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..bvram import BVRAM, RunResult
 from ..bvram.isa import Program
 from ..nsc import ast as A
 from ..nsc.typecheck import infer_function
 from ..nsc.types import Type
 from ..nsc.values import Value, from_python
-from .codegen import Emitter, decode_values, encode_values, field_count, reuse_registers
+from .codegen import (
+    Emitter,
+    decode_batch,
+    decode_values,
+    encode_batch,
+    encode_values,
+    field_count,
+    reuse_registers,
+)
 from .flatten import Ctx, Flattener, rep_from_regs, rep_regs
 from .nsa import CompileError, block_size, hoist_projections, lower_function
 from .optimize import eliminate_dead_instructions, optimize_block
 
 __all__ = [
+    "BatchError",
     "CompileError",
     "CompiledProgram",
     "compile_nsc",
@@ -72,24 +87,57 @@ __all__ = [
 
 @dataclass
 class CompiledProgram(Program):
-    """A BVRAM :class:`~repro.bvram.isa.Program` plus its NSC calling convention."""
+    """A BVRAM :class:`~repro.bvram.isa.Program` plus its NSC calling convention.
+
+    ``batch_axis=True`` marks a program compiled with the **batch-segment
+    context**: the root context has width B (one slot per independent
+    request) instead of 1, fed by one extra input register — the *batch
+    template*, a length-B vector — after the ``field_count(dom)`` value
+    registers.  Such a program executes B inputs in a single machine run;
+    the flattened body code is exactly the one a width-1 compile produces,
+    because flattening makes code width-independent (the paper's point).
+    ``source_fn`` keeps the NSC function so :meth:`run_batch` can compile
+    the batched twin of a width-1 program on first use.
+    """
 
     dom: Optional[Type] = None
     cod: Optional[Type] = None
     eps: float = 0.5
     nsa_size: int = 0
     opt_level: int = 2
+    batch_axis: bool = False
+    source_fn: Optional[A.Function] = None
 
-    def encode_input(self, value: object) -> list[list[int]]:
+    def encode_input(self, value: object) -> list[np.ndarray]:
         """Marshal one S-object (or plain Python data) into the input registers."""
+        return self.encode_batch_input([from_python(value)])
+
+    def encode_batch_input(self, values: Sequence[Value]) -> list[np.ndarray]:
+        """Marshal a batch of S-objects into the input-register image.
+
+        For a ``batch_axis`` program the image is the width-B canonical
+        encoding plus the batch template register; a width-1 program accepts
+        only singleton batches.
+        """
         assert self.dom is not None
-        return encode_values([from_python(value)], self.dom)
+        if not self.batch_axis and len(values) != 1:
+            raise CompileError(
+                f"program compiled without batch_axis takes 1 input, got {len(values)}"
+            )
+        fields = encode_batch(values, self.dom)
+        if self.batch_axis:
+            fields.append(np.zeros(len(values), dtype=np.int64))
+        return fields
 
     def decode_output(self, registers: Sequence) -> Value:
         """Rebuild the result S-object from the output registers."""
+        return self.decode_batch_output(registers, 1)[0]
+
+    def decode_batch_output(self, registers: Sequence, count: int) -> list[Value]:
+        """Rebuild ``count`` result S-objects from the output registers."""
         assert self.cod is not None
         fields = [registers[i] for i in range(self.n_outputs)]
-        return decode_values(fields, self.cod, 1)[0]
+        return decode_batch(fields, self.cod, count)
 
     def run(
         self, value: object, max_steps: int = 10_000_000, trace: bool = False
@@ -108,8 +156,33 @@ class CompiledProgram(Program):
         )
         return self.decode_output(res.registers), res
 
+    def run_batch(
+        self,
+        values: Sequence[object],
+        max_steps: int = 10_000_000,
+        return_exceptions: bool = False,
+    ) -> list[Value]:
+        """Execute B independent inputs as **one** flattened machine run.
 
-def compile_nsc(fn: A.Function, eps: float = 0.5, opt_level: int = 2) -> CompiledProgram:
+        The batched twin of this program (compiled once, cached) pushes a
+        single extra batch-segment context over the root, so serving B
+        requests costs one instruction stream — not B Python dispatch loops.
+        Falls back to a per-input loop when the twin cannot be built or the
+        batched run traps; see :mod:`repro.compiler.batch` for the exact
+        semantics (a trapping input raises :class:`BatchError` naming its
+        batch index, or is returned in place with
+        ``return_exceptions=True``).
+        """
+        from .batch import run_batch
+
+        return run_batch(
+            self, values, max_steps=max_steps, return_exceptions=return_exceptions
+        )
+
+
+def compile_nsc(
+    fn: A.Function, eps: float = 0.5, opt_level: int = 2, batch_axis: bool = False
+) -> CompiledProgram:
     """Compile a (typecheckable) NSC function to an executable BVRAM program.
 
     ``eps`` trades work for register pressure per Lemma 7.2 (``W' =
@@ -129,6 +202,15 @@ def compile_nsc(fn: A.Function, eps: float = 0.5, opt_level: int = 2) -> Compile
     * ``2`` (default) — additionally value-numbers the emitted stream
       (segment-descriptor reuse), deletes dead instructions and reuses dead
       registers by linear scan.
+
+    ``batch_axis=True`` compiles the **batched twin**: instead of the
+    width-1 root context (one ``load_const`` template), the root context is
+    a width-B batch of independent inputs whose template arrives as one
+    extra input register after the ``field_count(dom)`` value fields.  The
+    emitted body is the same depth-independent flattened code — batching is
+    literally one more segment level.  ``CompiledProgram.run_batch`` builds
+    and caches this twin on demand; it is also a public knob for callers
+    that want to hold the batched program directly.
     """
     if opt_level not in (0, 1, 2):
         raise CompileError(f"opt_level must be 0, 1 or 2, got {opt_level!r}")
@@ -137,10 +219,14 @@ def compile_nsc(fn: A.Function, eps: float = 0.5, opt_level: int = 2) -> Compile
     if opt_level >= 1:
         block = optimize_block(block)
 
-    n_in = field_count(ft.dom)
+    n_fields = field_count(ft.dom)
+    n_in = n_fields + 1 if batch_axis else n_fields
     em = Emitter(reserved=n_in, value_number=opt_level >= 2)
-    param = rep_from_regs(ft.dom, iter(range(n_in)))
-    root_tpl = em.load_const(0)  # the root context has width 1
+    param = rep_from_regs(ft.dom, iter(range(n_fields)))
+    if batch_axis:
+        root_tpl = n_fields  # input register: the length-B batch template
+    else:
+        root_tpl = em.load_const(0)  # the root context has width 1
     fl = Flattener(em, eps)
     result = fl.compile_block(block, Ctx(root_tpl), {block.params[0]: param})
 
@@ -171,6 +257,11 @@ def compile_nsc(fn: A.Function, eps: float = 0.5, opt_level: int = 2) -> Compile
         eps=eps,
         nsa_size=block_size(block),
         opt_level=opt_level,
+        batch_axis=batch_axis,
+        source_fn=fn,
     )
     prog.validate()
     return prog
+
+
+from .batch import BatchError  # noqa: E402  (needs CompiledProgram defined above)

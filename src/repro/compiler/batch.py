@@ -1,0 +1,139 @@
+"""Batched serving: run B independent inputs as one flattened machine run.
+
+The paper's flattening makes compiled code nesting-depth independent, so a
+batch of B requests to the same program is *just one more segment level*:
+compile the program with a width-B root context (``compile_nsc(...,
+batch_axis=True)``), stack the B input encodings (one extra batch-segment
+descriptor per sequence field, no per-request marshalling loop), execute the
+single instruction stream once, and split the outputs back per request.  All
+per-instruction interpreter overhead — the thing that dominates small
+per-request inputs — is amortised over the whole batch.
+
+Fallback loop
+-------------
+
+``run_batch`` degrades to a documented per-input loop (one fresh machine per
+input, so a failure cannot corrupt sibling results) in exactly three cases:
+
+* the batched twin cannot be compiled — the program has no ``source_fn``
+  (hand-built :class:`~repro.compiler.CompiledProgram` objects) or the
+  recompile raises :class:`~repro.compiler.CompileError`;
+* the batched run raises :class:`~repro.bvram.machine.BVRAMError` — either
+  because some input genuinely traps (Omega, division by zero, ``get`` of a
+  non-singleton, ...), or because the *combined* batch overflows a machine
+  limit no single input hits (the segmented scans compute one global cumsum
+  across the batch, so B inputs each near ``2**63`` can overflow jointly);
+* the caller passed ``return_exceptions=True`` and the batched run trapped,
+  in which case per-input isolation is the requested semantics.
+
+In the fallback, a trapping input raises :class:`BatchError` whose message
+and ``.index`` name the failing batch position (first failing index in batch
+order); with ``return_exceptions=True`` the error object is returned *in
+place* and every sibling's result is exactly its independent ``run()``
+value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..bvram import BVRAM, BVRAMError
+from ..nsc.values import Value, from_python
+from .nsa import CompileError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import CompiledProgram
+
+
+class BatchError(BVRAMError):
+    """A batched run failed on one specific input; ``index`` names it."""
+
+    def __init__(self, message: str, index: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.index = index
+
+
+_UNSET = object()
+
+
+def batched_program(prog: "CompiledProgram") -> Optional["CompiledProgram"]:
+    """The batch-axis twin of ``prog`` (compiled once, cached on ``prog``).
+
+    Returns ``prog`` itself when it already carries the batch axis, and
+    ``None`` when no twin can be built (no ``source_fn``, or the batched
+    compile fails) — callers then use the fallback loop.
+    """
+    if prog.batch_axis:
+        return prog
+    cached = getattr(prog, "_batched_twin", _UNSET)
+    if cached is not _UNSET:
+        return cached
+    twin: Optional["CompiledProgram"] = None
+    if prog.source_fn is not None:
+        from . import compile_nsc
+
+        try:
+            twin = compile_nsc(
+                prog.source_fn,
+                eps=prog.eps,
+                opt_level=prog.opt_level,
+                batch_axis=True,
+            )
+        except CompileError:
+            twin = None
+    prog._batched_twin = twin
+    return twin
+
+
+def run_batch(
+    prog: "CompiledProgram",
+    values: Sequence[object],
+    max_steps: int = 10_000_000,
+    return_exceptions: bool = False,
+) -> list[Value]:
+    """Run ``prog`` on every input in ``values``; see the module docstring."""
+    vals = [v if isinstance(v, Value) else from_python(v) for v in values]
+    if not vals:
+        return []
+    twin = batched_program(prog)
+    if twin is not None:
+        machine = BVRAM(twin.n_registers)
+        try:
+            res = machine.run(
+                twin,
+                twin.encode_batch_input(vals),
+                max_steps=max_steps,
+                record_trace=False,
+            )
+        except BVRAMError as e:
+            # Attribute the failure to an input index below.  The error is
+            # kept on the program so a batched run that degrades for an
+            # *infrastructure* reason (an ABI mismatch, a plan bug — not an
+            # input trap) is observable instead of silently running B times
+            # slower; the battery test asserts this stays None.
+            prog._batch_fallback_error = e
+        else:
+            prog._batch_fallback_error = None
+            return twin.decode_batch_output(res.registers, len(vals))
+    return _run_batch_fallback(prog, vals, max_steps, return_exceptions)
+
+
+def _run_batch_fallback(
+    prog: "CompiledProgram",
+    vals: Sequence[Value],
+    max_steps: int,
+    return_exceptions: bool,
+) -> list[Value]:
+    """Per-input loop: one fresh machine per input, failures isolated."""
+    out: list[Value] = []
+    for i, v in enumerate(vals):
+        try:
+            value, _ = prog.run(v, max_steps=max_steps)
+        except BVRAMError as e:
+            err = BatchError(f"batch index {i}: {e}", index=i)
+            if not return_exceptions:
+                raise err from e
+            out.append(err)
+            continue
+        out.append(value)
+    return out

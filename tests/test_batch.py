@@ -1,0 +1,310 @@
+"""Tests for the batched serving engine and the block-fused executor.
+
+Four layers:
+
+* **batch differential battery** — for every program in the 38-run
+  ``compiler/difftest.py`` battery, ``run_batch([x1..xk])`` returns exactly
+  the values of k independent ``run(xi)`` calls (heterogeneous input sizes
+  included — each suite entry batches all its inputs together);
+* **fusion parity** — the block-fused untraced plan produces T/W totals and
+  final registers bit-identical to the per-instruction plan and the traced
+  interpreter, at opt levels 0 and 2, including mid-block error paths;
+* **edge cases** — empty batch, singleton batch, unit-typed domain (the
+  dedicated batch-template register carries the width when the input has no
+  value fields), heterogeneous sizes;
+* **trap semantics** — a trapping input makes ``run_batch`` raise
+  :class:`BatchError` naming the failing batch index; with
+  ``return_exceptions=True`` the error is returned in place and sibling
+  results are exactly the independent per-input values (the fallback loop
+  runs each input on a fresh machine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bvram import BVRAM, BVRAMError
+from repro.bvram.fuse import build_fused_plan
+from repro.bvram.machine import _BLOCK
+from repro.bvram import isa
+from repro.compiler import BatchError, CompileError, compile_nsc
+from repro.compiler.batch import batched_program
+from repro.compiler.codegen import decode_batch, encode_batch, field_count
+from repro.compiler.difftest import suite
+from repro.nsc import builder as B, from_python
+from repro.nsc.types import NAT, UNIT, prod, seq
+from repro.nsc.values import nat_seq_value
+
+
+# ---------------------------------------------------------------------------
+# Batch differential battery
+# ---------------------------------------------------------------------------
+
+
+def test_run_batch_matches_independent_runs_across_battery():
+    for name, fn, args in suite():
+        prog = compile_nsc(fn)
+        expected = [prog.run(a)[0] for a in args]
+        got = prog.run_batch(args)
+        assert got == expected, name
+        # the batched path actually ran: the twin compiled (not the fallback
+        # loop) and the batched execution did not degrade to it either
+        twin = batched_program(prog)
+        assert twin is not None and twin.batch_axis, name
+        assert batched_program(prog) is twin  # compiled once, cached
+        assert getattr(prog, "_batch_fallback_error", None) is None, name
+
+
+def test_run_batch_on_batch_axis_program_runs_in_place():
+    fn = B.map_(B.lam("x", NAT, B.mul(B.v("x"), B.v("x"))))
+    twin = compile_nsc(fn, batch_axis=True)
+    assert batched_program(twin) is twin
+    assert twin.run_batch([[1, 2], [3]]) == [from_python([1, 4]), from_python([9])]
+    # a batch_axis program still runs single inputs (batch of one)
+    value, _ = twin.run([2, 3])
+    assert value == from_python([4, 9])
+
+
+def test_batch_axis_program_matches_width1_on_battery_subset():
+    for name, fn, args in suite()[:8]:
+        p1 = compile_nsc(fn)
+        pb = compile_nsc(fn, batch_axis=True)
+        for arg in args:
+            assert p1.run(arg)[0] == pb.run(arg)[0], name
+
+
+# ---------------------------------------------------------------------------
+# Fusion parity: fused == unfused == traced, bit for bit
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("opt_level", [0, 2])
+def test_fused_totals_equal_unfused_across_battery(opt_level):
+    for name, fn, args in suite():
+        prog = compile_nsc(fn, eps=0.5, opt_level=opt_level)
+        for arg in args:
+            inputs = prog.encode_input(arg)
+            runs = []
+            for fuse in (True, False):
+                m = BVRAM(prog.n_registers)
+                runs.append(m.run(prog, inputs, record_trace=False, fuse=fuse))
+            fused, unfused = runs
+            assert (fused.time, fused.work) == (unfused.time, unfused.work), name
+            assert all(
+                (a == b).all() for a, b in zip(fused.registers, unfused.registers)
+            ), name
+
+
+def test_fused_totals_equal_traced_on_mid_block_error():
+    # straight-line program whose 4th instruction overflows: the fused block
+    # must flush the totals of the 3 completed instructions, exactly like
+    # the traced loop (the raising instruction is not charged)
+    prog = isa.Program(
+        instructions=[
+            isa.LoadConst(dst=1, value=2**62),
+            isa.LoadConst(dst=2, value=2**62),
+            isa.Arith(dst=3, op="+", a=1, b=2),  # 2**63 overflows int64 naturals
+            isa.Halt(),
+        ],
+        n_registers=4,
+        n_inputs=1,
+        n_outputs=1,
+    )
+    machines = []
+    for record_trace, fuse in ((True, False), (False, True), (False, False)):
+        m = BVRAM(4)
+        with pytest.raises(BVRAMError, match="overflow"):
+            m.run(prog, [[0]], record_trace=record_trace, fuse=fuse)
+        machines.append(m)
+    traced, fused, unfused = machines
+    assert traced.time == 2  # the two load_consts
+    assert (traced.time, traced.work) == (fused.time, fused.work)
+    assert (traced.time, traced.work) == (unfused.time, unfused.work)
+
+
+def test_fused_plan_blocks_break_at_jump_targets():
+    fn = B.lam(
+        "x", NAT, B.app(B.while_(B.lam("p", NAT, B.lt(B.v("p"), 10)),
+                                 B.lam("q", NAT, B.add(B.v("q"), 1))), B.v("x"))
+    )
+    prog = compile_nsc(fn)
+    plan = build_fused_plan(prog)
+    # fusion actually happened: fewer entries than instructions, and at
+    # least one multi-instruction block
+    assert len(plan) < len(prog.instructions)
+    assert any(kind == _BLOCK and extra > 1 for kind, _, extra in plan)
+    # every instruction is covered exactly once
+    assert sum(extra if kind == _BLOCK else 1 for kind, _, extra in plan) == len(
+        prog.instructions
+    )
+
+
+def test_fused_respects_max_steps():
+    x, y = B.gensym("x"), B.gensym("y")
+    diverge = B.while_(B.lam(x, NAT, B.true()), B.lam(y, NAT, B.v(y)))
+    prog = compile_nsc(B.lam("z", NAT, B.app(diverge, B.v("z"))))
+    m = BVRAM(prog.n_registers)
+    with pytest.raises(BVRAMError, match="exceeded"):
+        m.run(prog, prog.encode_input(1), max_steps=500, record_trace=False, fuse=True)
+
+
+@pytest.mark.parametrize("max_steps", [1, 3, 5, 7])
+def test_fused_max_steps_parity_mid_block(max_steps):
+    # straight-line program longer than the budget: every mode must stop at
+    # (and charge) exactly the same instruction, even when the budget
+    # expires in the middle of a fused block
+    instrs = [isa.LoadConst(dst=1, value=i) for i in range(6)] + [isa.Halt()]
+    prog = isa.Program(instructions=instrs, n_registers=2, n_inputs=1, n_outputs=1)
+    machines = []
+    for record_trace, fuse in ((True, False), (False, True), (False, False)):
+        m = BVRAM(2)
+        try:
+            m.run(prog, [[0]], max_steps=max_steps, record_trace=record_trace, fuse=fuse)
+            outcome = "done"
+        except BVRAMError:
+            outcome = "exceeded"
+        machines.append((m, outcome))
+    (traced, o_t), (fused, o_f), (unfused, o_u) = machines
+    assert o_t == o_f == o_u
+    assert (traced.time, traced.work) == (fused.time, fused.work)
+    assert (traced.time, traced.work) == (unfused.time, unfused.work)
+    assert all(
+        (a == b).all() for a, b in zip(traced.registers, fused.registers)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Edge cases
+# ---------------------------------------------------------------------------
+
+
+def _square_map():
+    return B.map_(B.lam("x", NAT, B.mul(B.v("x"), B.v("x"))))
+
+
+def test_empty_batch():
+    prog = compile_nsc(_square_map())
+    assert prog.run_batch([]) == []
+
+
+def test_singleton_batch():
+    prog = compile_nsc(_square_map())
+    assert prog.run_batch([[3, 4]]) == [from_python([9, 16])]
+
+
+def test_heterogeneous_input_sizes():
+    prog = compile_nsc(_square_map())
+    batch = [[], [5], list(range(100)), [7, 7, 7]]
+    assert prog.run_batch(batch) == [prog.run(a)[0] for a in batch]
+
+
+def test_unit_domain_batch_uses_template_register():
+    prog = compile_nsc(B.lam("u", UNIT, B.c(7)))
+    assert field_count(prog.dom) == 0  # no value fields: width rides the template
+    assert prog.run_batch([None, None, None]) == [from_python(7)] * 3
+
+
+def test_pair_and_seq_domain_batch():
+    x = B.gensym("x")
+    fn = B.lam(
+        x,
+        prod(NAT, seq(NAT)),
+        B.app(B.map_(B.lam("y", NAT, B.add(B.v("y"), B.fst(B.v(x))))), B.snd(B.v(x))),
+    )
+    prog = compile_nsc(fn)
+    batch = [(10, [1, 2, 3]), (0, []), (5, [9])]
+    assert prog.run_batch(batch) == [prog.run(a)[0] for a in batch]
+
+
+def test_fallback_loop_when_no_source_fn():
+    prog = compile_nsc(_square_map())
+    prog.source_fn = None  # e.g. a program deserialized without its NSC source
+    assert batched_program(prog) is None
+    batch = [[2], [3, 4]]
+    assert prog.run_batch(batch) == [prog.run(a)[0] for a in batch]
+
+
+# ---------------------------------------------------------------------------
+# Trap semantics
+# ---------------------------------------------------------------------------
+
+
+def _div_by_input():
+    return B.lam("x", NAT, B.div(100, B.v("x")))
+
+
+def test_trap_names_failing_batch_index():
+    prog = compile_nsc(_div_by_input())
+    with pytest.raises(BatchError, match="batch index 2") as exc_info:
+        prog.run_batch([5, 10, 0, 4])
+    assert exc_info.value.index == 2
+    assert isinstance(exc_info.value, BVRAMError)
+
+
+def test_omega_trap_names_failing_batch_index():
+    x = B.gensym("x")
+    fn = B.lam(x, NAT, B.if_(B.gt(B.v(x), 0), B.v(x), B.error(NAT)))
+    prog = compile_nsc(fn)
+    with pytest.raises(BatchError, match="batch index 1"):
+        prog.run_batch([3, 0, 7])
+
+
+def test_trap_does_not_corrupt_sibling_results():
+    prog = compile_nsc(_div_by_input())
+    out = prog.run_batch([5, 0, 4], return_exceptions=True)
+    assert out[0] == from_python(20)
+    assert out[2] == from_python(25)
+    assert isinstance(out[1], BatchError) and out[1].index == 1
+    # and the trap did not poison later batches on the same program
+    assert prog.run_batch([10, 20]) == [from_python(10), from_python(5)]
+
+
+# ---------------------------------------------------------------------------
+# Marshalling: encode_batch / decode_batch round trips
+# ---------------------------------------------------------------------------
+
+
+def test_encode_batch_matches_encode_values_layout():
+    from repro.compiler.codegen import encode_values
+
+    t = seq(NAT)
+    vals = [from_python(x) for x in ([1, 2, 3], [], [9])]
+    arrays = encode_batch(vals, t)
+    lists = encode_values(vals, t)
+    assert len(arrays) == len(lists)
+    for a, l in zip(arrays, lists):
+        assert isinstance(a, np.ndarray) and a.dtype == np.int64
+        assert a.tolist() == l
+
+
+def test_encode_batch_round_trip_nested():
+    t = seq(seq(NAT))
+    vals = [from_python(x) for x in ([[1], [2, 3]], [], [[], [4, 5, 6]])]
+    fields = encode_batch(vals, t)
+    assert decode_batch(fields, t, len(vals)) == vals
+
+
+def test_encode_batch_type_errors():
+    with pytest.raises(CompileError, match="expected a natural"):
+        encode_batch([from_python([1, 2])], NAT)
+    with pytest.raises(CompileError, match="expected a sequence"):
+        encode_batch([from_python(3)], seq(NAT))
+    with pytest.raises(CompileError, match="expected a natural"):
+        encode_batch([nat_seq_value([1]), from_python([(1, 2)])], seq(NAT))
+
+
+# ---------------------------------------------------------------------------
+# Machine accessor satellites
+# ---------------------------------------------------------------------------
+
+
+def test_register_and_output_accessors():
+    m = BVRAM(2)
+    m.load(0, [3, 1, 2])
+    assert m.register(0) == [3, 1, 2]
+    assert all(isinstance(x, int) for x in m.register(0))
+    arr = m.register_array(0)
+    assert isinstance(arr, np.ndarray) and arr is m.registers[0]
+    prog = compile_nsc(_square_map())
+    _, run = prog.run([2, 3])
+    assert run.output(1) == run.registers[1].tolist()
+    assert isinstance(run.output_array(0), np.ndarray)

@@ -214,7 +214,8 @@ def test_opt2_refines_opt0_on_random_scalar_programs(expr, x):
 
 
 @pytest.mark.parametrize("opt_level", [0, 2])
-def test_untraced_totals_match_traced(opt_level):
+@pytest.mark.parametrize("fuse", [True, False])
+def test_untraced_totals_match_traced(opt_level, fuse):
     from repro.algorithms.quicksort import quicksort_def
     from repro.maprec.translate import translate
 
@@ -225,14 +226,17 @@ def test_untraced_totals_match_traced(opt_level):
     for fn, arg in cases:
         prog = compile_nsc(fn, eps=0.5, opt_level=opt_level)
         v_t, r_t = prog.run(arg, trace=True)
-        v_u, r_u = prog.run(arg, trace=False)
+        m = BVRAM(prog.n_registers)
+        r_u = m.run(prog, prog.encode_input(arg), record_trace=False, fuse=fuse)
+        v_u = prog.decode_output(r_u.registers)
         assert v_t == v_u
         assert (r_t.time, r_t.work) == (r_u.time, r_u.work)
         assert all((a == b).all() for a, b in zip(r_t.registers, r_u.registers))
         assert len(r_t.trace) == r_t.time and r_u.trace == []
 
 
-def test_untraced_totals_match_traced_on_error_paths():
+@pytest.mark.parametrize("fuse", [True, False])
+def test_untraced_totals_match_traced_on_error_paths(fuse):
     x = B.gensym("x")
     fn = B.lam(x, seq(NAT), B.get_(B.v(x)))  # get of a non-singleton traps
     prog = compile_nsc(fn)
@@ -240,7 +244,9 @@ def test_untraced_totals_match_traced_on_error_paths():
     for record_trace in (True, False):
         m = BVRAM(prog.n_registers)
         with pytest.raises(BVRAMError, match="length != 1"):
-            m.run(prog, prog.encode_input([1, 2, 3]), record_trace=record_trace)
+            m.run(
+                prog, prog.encode_input([1, 2, 3]), record_trace=record_trace, fuse=fuse
+            )
         machines.append(m)
     traced, untraced = machines
     assert (traced.time, traced.work) == (untraced.time, untraced.work)
