@@ -1,0 +1,209 @@
+"""E11 — async serving: adaptive micro-batching and multi-core sharding.
+
+Two layers above E10's raw ``run_batch`` measurement:
+
+* **the scheduler earns its keep** — under a simulated open-loop load (all
+  requests arrive as a burst, independent of completions, the arrival
+  pattern a traffic spike produces), the adaptive micro-batching server
+  (``max_batch=64``) must beat *per-request dispatch* — the same asyncio
+  front door with ``max_batch=1``, so both sides pay identical event-loop
+  and future overhead and the difference is purely batch formation — by
+  **>= 5x requests/sec on >= 2 workloads**, with every response exactly
+  equal to a solo ``run()``;
+* **sharding scales with cores** — at batch 512 the
+  :class:`~repro.serving.ShardExecutor` path (one batched machine per
+  worker process) is compared against the single-process ``run_batch``.
+  On a **>= 4-core** runner it must win by **>= 1.8x** on the best
+  workload; below 4 cores the numbers are recorded (IPC overhead with no
+  parallelism to pay for it) but the bar is not asserted — the Brent bound
+  needs a p to divide by.
+
+Latency percentiles (p50/p99) from the server's metrics object are recorded
+per workload, giving the latency/throughput trade-off table the README
+quotes.
+"""
+
+import asyncio
+import os
+import time
+
+import common
+
+from repro.analysis import format_table
+from repro.compiler import compile_nsc
+from repro.compiler.difftest import _collatz_steps, _filter_lt, _map_affine
+from repro.nsc import lib
+from repro.serving import Server, ShardExecutor
+
+
+def _workloads():
+    r = common.rng(11)
+    return [
+        (
+            "map_affine",
+            _map_affine(),
+            [[r.randrange(997) for _ in range(12)] for _ in range(512)],
+        ),
+        (
+            "filter_lt",
+            _filter_lt(499),
+            [[r.randrange(997) for _ in range(12)] for _ in range(512)],
+        ),
+        (
+            "reduce_add",
+            lib.reduce_add(),
+            [[r.randrange(1000) for _ in range(16)] for _ in range(128)],
+        ),
+        (
+            "collatz",
+            _collatz_steps(),
+            [[r.randrange(1, 512) for _ in range(8)] for _ in range(128)],
+        ),
+    ]
+
+
+def _serve(prog, requests, max_batch, max_delay_ms):
+    """Open-loop burst: submit everything, await everything; (results, wall, metrics)."""
+
+    async def main():
+        async with Server(
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            max_queue=2 * len(requests),
+        ) as srv:
+            t0 = time.perf_counter()
+            results = await asyncio.gather(*(srv.submit(prog, v) for v in requests))
+            wall = time.perf_counter() - t0
+        return results, wall, srv.metrics
+
+    return asyncio.run(main())
+
+
+def test_e11_microbatching_vs_per_request(benchmark):
+    rows = []
+    speedups = {}
+    for name, fn, requests in _workloads():
+        prog = compile_nsc(fn)
+        prog.run(requests[0])  # warm the fused plan
+        prog.run_batch(requests[:2])  # warm the batched twin
+        expected = [prog.run(v)[0] for v in requests]
+
+        single, wall_1, m1 = _serve(prog, requests, max_batch=1, max_delay_ms=0.0)
+        assert single == expected, f"{name}: per-request serving diverges"
+        batched, wall_64, m64 = _serve(prog, requests, max_batch=64, max_delay_ms=2.0)
+        assert batched == expected, f"{name}: micro-batched serving diverges"
+
+        rps_1 = len(requests) / wall_1
+        rps_64 = len(requests) / wall_64
+        speedups[name] = rps_64 / rps_1
+        common.record(
+            f"e11/microbatch/{name}",
+            wall_s=wall_64,
+            per_request_wall_s=wall_1,
+            requests_per_s=round(rps_64),
+            per_request_requests_per_s=round(rps_1),
+            mean_batch=round(m64.mean_batch_size, 1),
+            p50_ms=round(1e3 * (m64.p50_latency_s or 0), 3),
+            p99_ms=round(1e3 * (m64.p99_latency_s or 0), 3),
+            opt_level=prog.opt_level,
+        )
+        rows.append(
+            [
+                name,
+                len(requests),
+                f"{rps_1:,.0f}",
+                f"{rps_64:,.0f}",
+                f"{rps_64 / rps_1:.1f}x",
+                f"{m64.mean_batch_size:.0f}",
+                f"{1e3 * (m64.p50_latency_s or 0):.1f}",
+                f"{1e3 * (m64.p99_latency_s or 0):.1f}",
+            ]
+        )
+    print("\nE11  async serving: per-request dispatch vs adaptive micro-batching")
+    print(
+        format_table(
+            ["workload", "reqs", "1-by-1 req/s", "batched req/s", "speedup",
+             "mean batch", "p50 ms", "p99 ms"],
+            rows,
+        )
+    )
+    fast = [n for n, s in speedups.items() if s >= 5.0]
+    assert len(fast) >= 2, (
+        f"expected >=5x requests/sec from micro-batching on >=2 workloads, "
+        f"got {speedups}"
+    )
+    prog = compile_nsc(_map_affine())
+    reqs = _workloads()[0][2][:64]
+    benchmark(lambda: _serve(prog, reqs, 64, 2.0))
+
+
+def test_e11_shard_scaling_at_512(benchmark):
+    cores = os.cpu_count() or 1
+    n_workers = min(cores, 8)
+    r = common.rng(12)
+    shard_workloads = [
+        (
+            "collatz",
+            _collatz_steps(),
+            [[r.randrange(1, 100_000) for _ in range(8)] for _ in range(512)],
+        ),
+        (
+            "reduce_add",
+            lib.reduce_add(),
+            [[r.randrange(1000) for _ in range(64)] for _ in range(512)],
+        ),
+    ]
+    rows = []
+    speedups = {}
+    executor = ShardExecutor(n_workers=n_workers)
+    try:
+        for name, fn, batch in shard_workloads:
+            prog = compile_nsc(fn)
+            prog.run_batch(batch[:2])  # warm twin + plans
+            executor.run_batch(prog, batch[:2])  # warm the workers
+            t_single, single = common.wall(
+                lambda prog=prog, batch=batch: prog.run_batch(batch), repeat=2
+            )
+            t_shard, sharded = common.wall(
+                lambda prog=prog, batch=batch: executor.run_batch(
+                    prog, batch, shards=n_workers
+                ),
+                repeat=2,
+            )
+            assert sharded == single, f"{name}: sharded values diverge"
+            speedups[name] = t_single / t_shard
+            common.record(
+                f"e11/shard/{name}/batch512",
+                wall_s=t_shard,
+                single_wall_s=t_single,
+                workers=n_workers,
+                cores=cores,
+                opt_level=prog.opt_level,
+            )
+            rows.append(
+                [name, len(batch), n_workers, f"{t_single:.3f}s",
+                 f"{t_shard:.3f}s", f"{t_single / t_shard:.2f}x"]
+            )
+    finally:
+        executor.close()
+    print(f"\nE11b sharded run_batch at batch 512 ({cores} cores, {n_workers} workers)")
+    print(
+        format_table(
+            ["workload", "batch", "workers", "single", "sharded", "speedup"], rows
+        )
+    )
+    if cores >= 4:
+        best = max(speedups.values())
+        assert best >= 1.8, (
+            f"expected >=1.8x from sharding on a >=4-core runner, got {speedups}"
+        )
+    else:
+        print(
+            f"(shard gate skipped: {cores} core(s) < 4 — IPC overhead with "
+            f"no parallelism to pay for it)"
+        )
+    prog = compile_nsc(lib.reduce_add())
+    small = shard_workloads[1][2][:64]
+    with ShardExecutor(n_workers=2) as ex:
+        ex.run_batch(prog, small)
+        benchmark(lambda: ex.run_batch(prog, small))

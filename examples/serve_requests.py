@@ -1,0 +1,35 @@
+"""Asyncio serving quickstart: many small requests, one micro-batching server.
+
+Run with ``PYTHONPATH=src python examples/serve_requests.py``.
+"""
+
+import asyncio
+import random
+
+from repro.nsc import builder as B
+from repro.nsc.types import NAT
+from repro.serving import Server
+
+
+def main():
+    x = B.gensym("x")
+    affine = B.map_(B.lam(x, NAT, B.mod(B.add(B.mul(B.v(x), 7), 3), 101)))
+    rng = random.Random(0)
+    requests = [[rng.randrange(100) for _ in range(8)] for _ in range(200)]
+
+    async def serve():
+        # submit() compiles `affine` once, queues each request, and the
+        # scheduler packs waiting requests into single batched machine runs
+        async with Server(max_batch=64, max_delay_ms=2.0) as server:
+            results = await asyncio.gather(
+                *(server.submit(affine, req) for req in requests)
+            )
+            return results, server.metrics.snapshot()
+
+    results, metrics = asyncio.run(serve())
+    print(f"first result : {results[0]}")
+    print(f"metrics      : {metrics}")
+
+
+if __name__ == "__main__":
+    main()

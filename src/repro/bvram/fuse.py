@@ -35,6 +35,9 @@ plan, with the same identity-snapshot invalidation.
 
 from __future__ import annotations
 
+import os
+import threading
+
 from . import isa
 from .machine import _BLOCK, _JUMP, _STEP, _plan_for
 
@@ -153,12 +156,30 @@ def build_fused_plan(program: isa.Program) -> list[tuple]:
     return plan
 
 
+#: Guards concurrent fused-plan builds.  Distinct from the machine module's
+#: ``_PLAN_LOCK`` so that ``build_fused_plan`` (which calls ``_plan_for``
+#: internally) acquires them in a fixed fuse -> machine order and a plain
+#: (non-reentrant) lock suffices on both sides.
+_FUSE_LOCK = threading.Lock()
+
+
+def _reinit_fuse_lock() -> None:
+    global _FUSE_LOCK
+    _FUSE_LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_reinit_fuse_lock)
+
+
 def fused_plan_for(program: isa.Program) -> list[tuple]:
     """Build (or fetch the cached) fused plan for ``program``.
 
     Same invalidation discipline as the per-instruction plan cache: the
     snapshot pins the exact instruction objects, and any in-place edit of
     the instruction list fails the element-wise identity scan and rebuilds.
+    Thread-safe with the same double-checked pattern as ``_plan_for``, and
+    fork-safe (the lock is re-initialised in forked children; cached plans
+    are closures over immutable instructions and survive the fork).
     """
     cached = getattr(program, "_fused_plan", None)
     code = program.instructions
@@ -166,6 +187,12 @@ def fused_plan_for(program: isa.Program) -> list[tuple]:
         snapshot, plan = cached
         if len(snapshot) == len(code) and all(a is b for a, b in zip(snapshot, code)):
             return plan
-    plan = build_fused_plan(program)
-    program._fused_plan = (tuple(code), plan)
+    with _FUSE_LOCK:
+        cached = getattr(program, "_fused_plan", None)
+        if cached is not None:
+            snapshot, plan = cached
+            if len(snapshot) == len(code) and all(a is b for a, b in zip(snapshot, code)):
+                return plan
+        plan = build_fused_plan(program)
+        program._fused_plan = (tuple(code), plan)
     return plan

@@ -28,6 +28,8 @@ Execution has two modes:
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -471,6 +473,31 @@ def _build_plan(program: isa.Program) -> list[tuple]:
     return plan
 
 
+#: Guards concurrent plan builds.  The cache write itself is a single
+#: attribute store (atomic under the GIL), but without the lock two threads
+#: hammering a cold program would both pay the full ``_build_plan`` cost;
+#: with it, one builds and the other reuses.  The lock is never held while
+#: *executing* a plan, only while building one.
+_PLAN_LOCK = threading.Lock()
+
+
+def _reinit_plan_lock() -> None:
+    """Fork handler: a child must never inherit a lock mid-acquisition.
+
+    ``os.fork`` copies the lock in whatever state the forking thread saw —
+    if another thread held it at fork time, every plan build in the child
+    would deadlock.  Re-initialising in ``after_in_child`` makes the plan
+    caches fork-safe by construction (the cached plans themselves are plain
+    closures over immutable instruction objects and stay valid in the
+    child).
+    """
+    global _PLAN_LOCK
+    _PLAN_LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_reinit_plan_lock)
+
+
 def _plan_for(program: isa.Program) -> list[tuple]:
     """Build (or fetch the cached) fast plan for ``program``.
 
@@ -480,6 +507,10 @@ def _plan_for(program: isa.Program) -> list[tuple]:
     the instruction list — append, replacement, reorder — fails the
     element-wise identity scan and rebuilds.  The scan is a cheap ``is``
     loop, far below the cost of executing even one vector instruction.
+
+    Thread-safe: the lock-free fast path reads one attribute (an atomic
+    tuple under the GIL); a miss takes ``_PLAN_LOCK``, re-checks, and
+    builds at most once per program generation.
     """
     cached = getattr(program, "_fast_plan", None)
     code = program.instructions
@@ -489,8 +520,16 @@ def _plan_for(program: isa.Program) -> list[tuple]:
             a is b for a, b in zip(snapshot, code)
         ):
             return plan
-    plan = _build_plan(program)
-    program._fast_plan = (tuple(code), plan)
+    with _PLAN_LOCK:
+        cached = getattr(program, "_fast_plan", None)
+        if cached is not None:
+            snapshot, plan = cached
+            if len(snapshot) == len(code) and all(
+                a is b for a, b in zip(snapshot, code)
+            ):
+                return plan
+        plan = _build_plan(program)
+        program._fast_plan = (tuple(code), plan)
     return plan
 
 

@@ -108,6 +108,27 @@ class CompiledProgram(Program):
     batch_axis: bool = False
     source_fn: Optional[A.Function] = None
 
+    #: run-time caches attached to instances after compilation; they hold
+    #: closures (execution plans) and diagnostics that must not — and the
+    #: plans *cannot* — cross a pickle boundary.  A shard worker receiving
+    #: the program re-derives them on first use, which is exactly the
+    #: "compiled once per worker" discipline of repro.serving.shard.
+    _CACHE_ATTRS = (
+        "_fast_plan",
+        "_fused_plan",
+        "_batched_twin",
+        "_batch_fallback_error",
+    )
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for attr in self._CACHE_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def encode_input(self, value: object) -> list[np.ndarray]:
         """Marshal one S-object (or plain Python data) into the input registers."""
         return self.encode_batch_input([from_python(value)])
@@ -161,6 +182,8 @@ class CompiledProgram(Program):
         values: Sequence[object],
         max_steps: int = 10_000_000,
         return_exceptions: bool = False,
+        executor: Optional[object] = None,
+        shards: Optional[int] = None,
     ) -> list[Value]:
         """Execute B independent inputs as **one** flattened machine run.
 
@@ -172,7 +195,22 @@ class CompiledProgram(Program):
         semantics (a trapping input raises :class:`BatchError` naming its
         batch index, or is returned in place with
         ``return_exceptions=True``).
+
+        ``executor`` (a :class:`repro.serving.ShardExecutor`) routes the
+        batch to the multi-core shard path: the batch is split along the
+        batch axis into ``shards`` contiguous spans (default: one per
+        worker), each span runs its own batched machine in a persistent
+        worker process, and the results are reassembled order-preserving
+        with trap indices re-based to this batch's global positions.
         """
+        if executor is not None:
+            return executor.run_batch(
+                self,
+                values,
+                shards=shards,
+                max_steps=max_steps,
+                return_exceptions=return_exceptions,
+            )
         from .batch import run_batch
 
         return run_batch(

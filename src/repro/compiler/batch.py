@@ -35,6 +35,8 @@ value.
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..bvram import BVRAM, BVRAMError
@@ -46,14 +48,58 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class BatchError(BVRAMError):
-    """A batched run failed on one specific input; ``index`` names it."""
+    """A batched run failed on one specific input; ``index`` names it.
 
-    def __init__(self, message: str, index: Optional[int] = None) -> None:
+    ``cause_text`` keeps the underlying machine error separately from the
+    formatted message so the index can be *re-based*: a shard executor runs
+    a sub-range of the batch, and an error at local index ``j`` of the shard
+    starting at ``off`` must surface as global index ``off + j``
+    (:meth:`rebased`).  The class also pickles exactly (``__reduce__``) —
+    shard workers return these objects across process boundaries.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        index: Optional[int] = None,
+        cause_text: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.index = index
+        self.cause_text = cause_text if cause_text is not None else message
+
+    @classmethod
+    def at(cls, index: int, cause_text: str) -> "BatchError":
+        """The canonical per-input error: names the failing batch position."""
+        return cls(f"batch index {index}: {cause_text}", index=index, cause_text=cause_text)
+
+    def rebased(self, offset: int) -> "BatchError":
+        """This error re-addressed from shard-local to global batch indices."""
+        if self.index is None or offset == 0:
+            return self
+        return BatchError.at(self.index + offset, self.cause_text)
+
+    def __reduce__(self):
+        # default exception pickling replays __init__ with self.args only,
+        # which would drop the index a shard worker attributed
+        return (BatchError, (self.args[0], self.index, self.cause_text))
 
 
 _UNSET = object()
+
+#: Guards the batched-twin cache: two threads batch-serving the same cold
+#: program must not compile the twin twice (the compile is the expensive
+#: part — milliseconds against the nanosecond cache hit).  Re-initialised in
+#: forked children so a fork taken mid-compile cannot leave the lock held.
+_TWIN_LOCK = threading.Lock()
+
+
+def _reinit_twin_lock() -> None:
+    global _TWIN_LOCK
+    _TWIN_LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_reinit_twin_lock)
 
 
 def batched_program(prog: "CompiledProgram") -> Optional["CompiledProgram"]:
@@ -61,27 +107,34 @@ def batched_program(prog: "CompiledProgram") -> Optional["CompiledProgram"]:
 
     Returns ``prog`` itself when it already carries the batch axis, and
     ``None`` when no twin can be built (no ``source_fn``, or the batched
-    compile fails) — callers then use the fallback loop.
+    compile fails) — callers then use the fallback loop.  Thread-safe: the
+    cache read is a single atomic attribute load, and the compile-and-store
+    runs under ``_TWIN_LOCK`` with a re-check, so exactly one thread pays
+    the compile.
     """
     if prog.batch_axis:
         return prog
     cached = getattr(prog, "_batched_twin", _UNSET)
     if cached is not _UNSET:
         return cached
-    twin: Optional["CompiledProgram"] = None
-    if prog.source_fn is not None:
-        from . import compile_nsc
+    with _TWIN_LOCK:
+        cached = getattr(prog, "_batched_twin", _UNSET)
+        if cached is not _UNSET:
+            return cached
+        twin: Optional["CompiledProgram"] = None
+        if prog.source_fn is not None:
+            from . import compile_nsc
 
-        try:
-            twin = compile_nsc(
-                prog.source_fn,
-                eps=prog.eps,
-                opt_level=prog.opt_level,
-                batch_axis=True,
-            )
-        except CompileError:
-            twin = None
-    prog._batched_twin = twin
+            try:
+                twin = compile_nsc(
+                    prog.source_fn,
+                    eps=prog.eps,
+                    opt_level=prog.opt_level,
+                    batch_axis=True,
+                )
+            except CompileError:
+                twin = None
+        prog._batched_twin = twin
     return twin
 
 
@@ -130,10 +183,30 @@ def _run_batch_fallback(
         try:
             value, _ = prog.run(v, max_steps=max_steps)
         except BVRAMError as e:
-            err = BatchError(f"batch index {i}: {e}", index=i)
+            err = BatchError.at(i, str(e))
             if not return_exceptions:
                 raise err from e
             out.append(err)
             continue
         out.append(value)
     return out
+
+
+def split_shards(n: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``(offset, length)`` spans splitting ``n`` items ``shards`` ways.
+
+    Same convention as ``np.array_split``: the first ``n % shards`` spans get
+    one extra item, later spans may be empty when ``shards > n``.  Spans are
+    in batch order, so concatenating per-shard results in span order is the
+    order-preserving reassembly.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    base, extra = divmod(n, shards)
+    spans: list[tuple[int, int]] = []
+    off = 0
+    for i in range(shards):
+        length = base + (1 if i < extra else 0)
+        spans.append((off, length))
+        off += length
+    return spans

@@ -409,6 +409,13 @@ def encode_batch(values: Sequence[Value], t: Type) -> list[np.ndarray]:
         except (AttributeError, TypeError):
             bad = next(v for v in values if not isinstance(v, VNat))
             raise CompileError(f"expected a natural, got {bad!r}") from None
+        except OverflowError:
+            # np.fromiter raises a bare OverflowError for values >= 2**63;
+            # classify it so batch/serving callers see a marshalling error,
+            # not an anonymous crash from inside NumPy
+            raise CompileError(
+                "input natural exceeds the int64 register width"
+            ) from None
     if isinstance(t, SeqType):
         try:
             segs = np.fromiter(
@@ -429,6 +436,10 @@ def encode_batch(values: Sequence[Value], t: Type) -> list[np.ndarray]:
                     x for v in values for x in v.items if not isinstance(x, VNat)
                 )
                 raise CompileError(f"expected a natural, got {bad!r}") from None
+            except OverflowError:
+                raise CompileError(
+                    "input natural exceeds the int64 register width"
+                ) from None
             return [segs, data]
         items = [x for v in values for x in v.items]
         return [segs] + encode_batch(items, t.elem)

@@ -61,6 +61,13 @@ class VUnit(Value):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("VUnit is immutable")
 
+    def __reduce__(self):
+        # The immutability __setattr__ above also fires during slot-state
+        # unpickling, so every Value pickles by replaying its constructor —
+        # shard workers (repro.serving.shard) move S-objects between
+        # processes.
+        return (VUnit, ())
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, VUnit)
 
@@ -85,6 +92,9 @@ class VNat(Value):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("VNat is immutable")
 
+    def __reduce__(self):
+        return (VNat, (self.value,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, VNat) and self.value == other.value
 
@@ -108,6 +118,9 @@ class VPair(Value):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("VPair is immutable")
 
+    def __reduce__(self):
+        return (VPair, (self.fst, self.snd))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, VPair) and self.fst == other.fst and self.snd == other.snd
 
@@ -129,6 +142,9 @@ class VInl(Value):
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("VInl is immutable")
+
+    def __reduce__(self):
+        return (VInl, (self.value,))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, VInl) and self.value == other.value
@@ -152,6 +168,9 @@ class VInr(Value):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("VInr is immutable")
 
+    def __reduce__(self):
+        return (VInr, (self.value,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, VInr) and self.value == other.value
 
@@ -174,6 +193,9 @@ class VSeq(Value):
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("VSeq is immutable")
+
+    def __reduce__(self):
+        return (VSeq, (self.items,))
 
     def __len__(self) -> int:
         return len(self.items)

@@ -1,0 +1,38 @@
+"""Serving: the async micro-batching front door and the multi-core shard pool.
+
+This package turns the repo's batched machine (:mod:`repro.compiler.batch`,
+PR 4) into something a traffic-facing service can sit behind:
+
+* :class:`Server` (:mod:`repro.serving.scheduler`) — an asyncio request
+  scheduler.  ``await server.submit(fn, value)`` queues the request; an
+  adaptive micro-batching drainer packs waiting requests into one
+  ``run_batch`` machine run when either ``max_batch`` is reached or the
+  oldest request has waited ``max_delay_ms``.  Bounded queues give
+  backpressure, ``return_exceptions=True`` gives per-request trap
+  isolation, and :class:`ServerMetrics` exposes queue depth, the batch-size
+  histogram, p50/p99 latency and requests/sec.
+
+* :class:`ShardExecutor` (:mod:`repro.serving.shard`) — a persistent
+  ``multiprocessing`` worker pool.  Batches are split along the batch axis
+  into contiguous spans, each span runs its own batched machine on its own
+  core (programs pickled and compiled once per worker), results reassemble
+  order-preserving, and trap indices are re-based to the global batch — the
+  Brent ``O(T' + W'/p)`` work-sharing made real instead of simulated.
+
+Benchmark E11 (``benchmarks/bench_e11_async_serving.py``) measures both
+levels; the differential fuzz battery (``tests/test_fuzz_differential.py``)
+pins interpreter == compiled == batched == sharded across random programs.
+"""
+
+from .metrics import ServerMetrics
+from .scheduler import Server, ServerClosed, ServerOverloaded
+from .shard import ShardExecutor, ShardExecutorClosed
+
+__all__ = [
+    "Server",
+    "ServerClosed",
+    "ServerMetrics",
+    "ServerOverloaded",
+    "ShardExecutor",
+    "ShardExecutorClosed",
+]

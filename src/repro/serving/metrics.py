@@ -1,0 +1,104 @@
+"""Serving metrics: what an operator of the async front door watches.
+
+One :class:`ServerMetrics` object per :class:`repro.serving.Server`.  All
+updates happen on the event-loop thread (the scheduler observes batches
+after the executor thread returns), so plain counters suffice — no atomics.
+
+The latency reservoir keeps the most recent ``window`` request latencies;
+p50/p99 are computed over that sliding window, which is the usual serving
+convention (a quiet hour must not dilute the current tail).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Optional
+
+
+class ServerMetrics:
+    """Counters, batch-size histogram and latency percentiles for a server."""
+
+    def __init__(self, window: int = 8192, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.started_at = clock()
+        #: requests accepted into a queue
+        self.submitted = 0
+        #: requests completed with a value
+        self.completed = 0
+        #: requests completed with an exception (their own trap)
+        self.failed = 0
+        #: requests refused by backpressure (bounded queue full)
+        self.rejected = 0
+        #: batches executed
+        self.batches = 0
+        #: current number of queued-but-not-yet-executing requests
+        self.queue_depth = 0
+        #: batch size -> number of batches of that size
+        self.batch_sizes: Counter[int] = Counter()
+        self._latencies: deque[float] = deque(maxlen=window)
+
+    # -- recording (called by the scheduler) --------------------------------
+
+    def observe_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batch_sizes[size] += 1
+
+    def observe_request(self, latency_s: float, ok: bool) -> None:
+        if ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        self._latencies.append(latency_s)
+
+    # -- derived views -------------------------------------------------------
+
+    def latency_percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th latency percentile (seconds) over the window.
+
+        Nearest-rank on the sorted window; ``None`` before the first
+        completion.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def p50_latency_s(self) -> Optional[float]:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_s(self) -> Optional[float]:
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (self.completed + self.failed) / self.batches if self.batches else 0.0
+
+    def requests_per_sec(self) -> float:
+        """Finished requests (values + traps) per second of server lifetime."""
+        elapsed = self._clock() - self.started_at
+        return (self.completed + self.failed) / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-able view of everything above (the monitoring endpoint)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "queue_depth": self.queue_depth,
+            "batch_size_hist": dict(sorted(self.batch_sizes.items())),
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "requests_per_sec": round(self.requests_per_sec(), 1),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServerMetrics({self.snapshot()!r})"

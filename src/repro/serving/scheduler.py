@@ -1,0 +1,393 @@
+"""The asyncio front door: adaptive micro-batching over ``run_batch``.
+
+The paper's point — batching is one more segment level — makes the *machine*
+side of serving trivial; what a real server adds is the **scheduler** that
+forms those batches under load.  :class:`Server` implements the standard
+continuous-batching recipe:
+
+* requests to the same program queue in a per-program *lane* (a bounded
+  ``asyncio.Queue`` — the bound is the backpressure surface);
+* a drainer task per lane collects a batch and dispatches it as **one**
+  ``run_batch`` call when either ``max_batch`` requests are waiting or the
+  oldest request has waited ``max_delay_ms`` (the latency/throughput knob);
+* the machine run happens on an executor thread, so the event loop keeps
+  accepting requests while a batch executes — the next batch forms during
+  the current one (continuous batching);
+* batches at or above ``shard_threshold`` are routed to a
+  :class:`~repro.serving.shard.ShardExecutor` when one is attached, spreading
+  the batch across cores;
+* every batch runs with ``return_exceptions=True``: a trapping request
+  resolves *its* future with :class:`~repro.compiler.batch.BatchError` while
+  every sibling gets its exact value (per-request trap isolation).
+
+Quickstart::
+
+    server = Server(max_batch=64, max_delay_ms=2.0)
+    async with server:
+        results = await asyncio.gather(
+            *(server.submit(fn, v) for v in requests)
+        )
+    print(server.metrics.snapshot())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Union
+
+from ..compiler import CompiledProgram, compile_nsc
+from ..nsc import ast as A
+from .metrics import ServerMetrics
+from .shard import ShardExecutor
+
+
+class ServerClosed(RuntimeError):
+    """The server is closed (or closing); the request was not accepted."""
+
+
+class ServerOverloaded(RuntimeError):
+    """Backpressure: the program's request queue is at ``max_queue``."""
+
+
+class _Lane:
+    """One compiled program's queue plus its drainer task."""
+
+    __slots__ = ("prog", "queue", "drainer", "exec_lock", "idle")
+
+    def __init__(self, prog: CompiledProgram, max_queue: int) -> None:
+        self.prog = prog
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=max_queue)
+        self.drainer: Optional[asyncio.Task] = None
+        #: held while a batch executes; close() acquires it to let the
+        #: in-flight batch deliver its results before cancelling the drainer
+        self.exec_lock = asyncio.Lock()
+        #: True exactly while the drainer waits for the *first* request of a
+        #: batch (empty queue, nothing forming, nothing executing) — the
+        #: only state in which the lane can be evicted without losing work
+        self.idle = False
+
+
+class Server:
+    """Async request scheduler with adaptive micro-batching.
+
+    Knobs:
+
+    ``max_batch``
+        Largest batch one machine run serves.  Reaching it dispatches
+        immediately (throughput bound).
+    ``max_delay_ms``
+        Longest a request may wait for co-batching before the partial batch
+        dispatches anyway (latency bound).  ``0`` dispatches whatever is
+        queued at drain time without waiting.
+    ``max_queue``
+        Per-program queue bound.  :meth:`submit` awaits a slot (natural
+        backpressure); :meth:`try_submit` raises :class:`ServerOverloaded`
+        instead of waiting.
+    ``executor`` / ``shards`` / ``shard_threshold``
+        When an :class:`~repro.serving.shard.ShardExecutor` is attached,
+        batches of at least ``shard_threshold`` requests are split into
+        ``shards`` spans (default: one per worker) and executed across
+        cores.  ``shard_threshold`` defaults to ``max_batch`` (every full
+        batch shards); an explicit threshold above ``max_batch`` is
+        rejected — the scheduler never forms a batch that large, so the
+        executor would silently go unused.
+    ``worker_threads``
+        Executor threads running the (GIL-releasing NumPy) machine calls;
+        more than one only helps when several lanes are active.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        max_queue: int = 1024,
+        executor: Optional[ShardExecutor] = None,
+        shards: Optional[int] = None,
+        shard_threshold: Optional[int] = None,
+        worker_threads: int = 1,
+        max_steps: int = 10_000_000,
+        max_programs: int = 64,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if shard_threshold is None:
+            shard_threshold = max_batch
+        elif executor is not None and shard_threshold > max_batch:
+            raise ValueError(
+                f"shard_threshold {shard_threshold} exceeds max_batch "
+                f"{max_batch}: no batch would ever reach the shard executor"
+            )
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_ms / 1000.0
+        self.max_queue = max_queue
+        self.executor = executor
+        self.shards = shards
+        self.shard_threshold = shard_threshold
+        self.max_steps = max_steps
+        #: soft bound on live per-program state (lanes + compile cache):
+        #: above it, idle lanes are evicted LRU and the compile cache drops
+        #: old entries.  Soft — lanes with queued, forming or executing
+        #: requests are never evicted, so a burst over `max_programs`
+        #: concurrently-active programs grows past the bound rather than
+        #: failing requests.
+        self.max_programs = max_programs
+        self.metrics = ServerMetrics()
+        self._lanes: OrderedDict[int, _Lane] = OrderedDict()
+        self._pool = ThreadPoolExecutor(
+            max_workers=worker_threads, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        self._compiled: OrderedDict[int, tuple[object, CompiledProgram]] = OrderedDict()
+
+    # -- program resolution --------------------------------------------------
+
+    def _resolve(self, fn: Union[CompiledProgram, A.Function]) -> CompiledProgram:
+        """Accept a CompiledProgram directly or compile (and cache) an NSC fn."""
+        if isinstance(fn, CompiledProgram):
+            return fn
+        key = id(fn)
+        entry = self._compiled.get(key)
+        if entry is None or entry[0] is not fn:
+            entry = (fn, compile_nsc(fn))
+            self._compiled[key] = entry
+            while len(self._compiled) > self.max_programs:
+                self._compiled.popitem(last=False)  # harmless: recompiles
+        else:
+            self._compiled.move_to_end(key)
+        return entry[1]
+
+    def _evict_idle_lanes(self) -> None:
+        """Drop LRU lanes that are provably at rest (see ``_Lane.idle``).
+
+        Safe because eviction and ``submit`` both run on the event-loop
+        thread, and an idle drainer's forming batch is empty — cancelling it
+        fails no request.  ``submit`` has no await point between looking a
+        lane up and enqueueing into it on the non-full path, so a lane
+        observed idle cannot be receiving a request concurrently.
+        """
+        for key, cand in list(self._lanes.items()):
+            if len(self._lanes) < self.max_programs:
+                break
+            if cand.idle and cand.queue.empty() and not cand.exec_lock.locked():
+                if cand.drainer is not None:
+                    cand.drainer.cancel()
+                del self._lanes[key]
+
+    def _lane(self, prog: CompiledProgram) -> _Lane:
+        key = id(prog)
+        lane = self._lanes.get(key)
+        if lane is None or lane.prog is not prog:
+            if len(self._lanes) >= self.max_programs:
+                self._evict_idle_lanes()
+            lane = _Lane(prog, self.max_queue)
+            lane.drainer = asyncio.get_running_loop().create_task(
+                self._drain(lane), name=f"repro-serve-drain-{key:x}"
+            )
+            self._lanes[key] = lane
+        else:
+            self._lanes.move_to_end(key)
+        return lane
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, fn: Union[CompiledProgram, A.Function], value: object):
+        """Submit one request; completes with its result value.
+
+        Awaiting the returned coroutine yields the request's result exactly
+        as ``prog.run(value)`` would produce it; a trapping request raises
+        its own :class:`~repro.compiler.batch.BatchError` here without
+        affecting any co-batched sibling.  When the lane queue is full this
+        *waits* for a slot — backpressure propagates to the caller's rate.
+        """
+        if self._closed:
+            raise ServerClosed("server is closed")
+        lane = self._lane(self._resolve(fn))
+        fut = asyncio.get_running_loop().create_future()
+        await lane.queue.put((value, fut, time.perf_counter()))
+        if self._closed:
+            # the server closed while we waited for a queue slot: close()
+            # may already have drained the queue, so nobody would ever
+            # resolve this future
+            fut.cancel()
+            raise ServerClosed("server closed while the request waited for a slot")
+        self.metrics.submitted += 1
+        self.metrics.queue_depth = self._depth()
+        return await fut
+
+    def try_submit(
+        self, fn: Union[CompiledProgram, A.Function], value: object
+    ) -> asyncio.Future:
+        """Non-waiting submit: returns the request future, or raises
+        :class:`ServerOverloaded` immediately when the queue is full."""
+        if self._closed:
+            raise ServerClosed("server is closed")
+        lane = self._lane(self._resolve(fn))
+        fut = asyncio.get_running_loop().create_future()
+        try:
+            lane.queue.put_nowait((value, fut, time.perf_counter()))
+        except asyncio.QueueFull:
+            self.metrics.rejected += 1
+            raise ServerOverloaded(
+                f"queue full ({self.max_queue} requests waiting for this program)"
+            ) from None
+        self.metrics.submitted += 1
+        self.metrics.queue_depth = self._depth()
+        return fut
+
+    def _depth(self) -> int:
+        return sum(lane.queue.qsize() for lane in self._lanes.values())
+
+    # -- the scheduler core --------------------------------------------------
+
+    async def _drain(self, lane: _Lane) -> None:
+        """Form batches adaptively and execute them, forever."""
+        loop = asyncio.get_running_loop()
+        q = lane.queue
+        batch: list = []
+        try:
+            while True:
+                lane.idle = True  # evictable: empty hands, empty queue
+                first = await q.get()  # block until there is work
+                lane.idle = False
+                batch = [first]
+                # opportunistic fill: whatever is queued rides along free
+                while len(batch) < self.max_batch:
+                    try:
+                        batch.append(q.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                # adaptive wait: hold the partial batch open to the deadline
+                if len(batch) < self.max_batch and self.max_delay_s > 0:
+                    deadline = loop.time() + self.max_delay_s
+                    while len(batch) < self.max_batch:
+                        timeout = deadline - loop.time()
+                        if timeout <= 0:
+                            break
+                        try:
+                            batch.append(await asyncio.wait_for(q.get(), timeout))
+                        except asyncio.TimeoutError:
+                            break
+                        while len(batch) < self.max_batch:
+                            try:
+                                batch.append(q.get_nowait())
+                            except asyncio.QueueEmpty:
+                                break
+                self.metrics.queue_depth = self._depth()
+                if self._closed:
+                    # close() is tearing the server down between batches;
+                    # these requests were still queued, so they get the
+                    # queued-request failure rather than an execution
+                    raise asyncio.CancelledError
+                async with lane.exec_lock:
+                    await self._execute(lane, batch)
+                batch = []
+        except asyncio.CancelledError:
+            # close() cancelled us: requests already popped off the queue
+            # into the forming batch would otherwise vanish silently
+            err = ServerClosed("server closed while the batch was forming")
+            for _, fut, _ in batch:
+                if not fut.done():
+                    fut.set_exception(err)
+            raise
+
+    async def _execute(self, lane: _Lane, batch: list) -> None:
+        values = [value for value, _, _ in batch]
+        prog = lane.prog
+
+        def work():
+            if (
+                self.executor is not None
+                and len(values) >= self.shard_threshold
+            ):
+                return self.executor.run_batch(
+                    prog,
+                    values,
+                    shards=self.shards,
+                    max_steps=self.max_steps,
+                    return_exceptions=True,
+                )
+            return prog.run_batch(
+                values, max_steps=self.max_steps, return_exceptions=True
+            )
+
+        try:
+            results = await asyncio.get_running_loop().run_in_executor(
+                self._pool, work
+            )
+        except asyncio.CancelledError:
+            # close() cancelled the drainer mid-batch: the thread finishes
+            # harmlessly (close() waits on the pool), but these callers must
+            # not hang on futures nobody will resolve
+            err = ServerClosed("server closed while the batch was executing")
+            for _, fut, _ in batch:
+                if not fut.done():
+                    fut.set_exception(err)
+            raise
+        except BaseException as e:  # infrastructure failure: fail the batch
+            self.metrics.observe_batch(len(batch))
+            now = time.perf_counter()
+            for _, fut, t_submit in batch:
+                if not fut.done():
+                    fut.set_exception(e)
+                self.metrics.observe_request(now - t_submit, ok=False)
+            return
+        now = time.perf_counter()
+        self.metrics.observe_batch(len(batch))
+        for (_, fut, t_submit), res in zip(batch, results):
+            ok = not isinstance(res, BaseException)
+            if not fut.done():  # the caller may have been cancelled
+                if ok:
+                    fut.set_result(res)
+                else:
+                    fut.set_exception(res)
+            self.metrics.observe_request(now - t_submit, ok=ok)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop the drainers, fail queued requests, release the thread pool.
+
+        Requests whose batch is already executing complete normally (the
+        in-flight batch is awaited via the lane's ``exec_lock`` before its
+        drainer is cancelled); requests still queued — or still forming a
+        batch — fail with :class:`ServerClosed`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for lane in self._lanes.values():
+            # let an in-flight batch deliver its results before cancelling
+            async with lane.exec_lock:
+                pass
+            if lane.drainer is not None:
+                lane.drainer.cancel()
+        for lane in self._lanes.values():
+            if lane.drainer is not None:
+                try:
+                    await lane.drainer
+                except asyncio.CancelledError:
+                    pass
+        err = ServerClosed("server closed with the request still queued")
+        for lane in self._lanes.values():
+            while True:
+                try:
+                    _, fut, _ = lane.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not fut.done():
+                    fut.set_exception(err)
+        self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "Server":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -1,0 +1,328 @@
+"""Multi-core shard execution: spread one large batch across worker processes.
+
+``run_batch`` amortises Python dispatch over the batch, but one process is
+still one core — at batch 512 the single machine run saturates it.  The
+paper's Brent bound (``O(T' + W'/p)``, Proposition 3.2) says the work side
+scales with processors, and the batch axis is the trivially safe place to
+cut: requests are independent, so splitting the batch into contiguous spans
+and running each span's batched machine on its own core changes nothing
+about any request's semantics.
+
+:class:`ShardExecutor` owns a pool of **persistent** worker processes.  Each
+worker receives a program at most once (pickled without its run-time caches,
+see ``CompiledProgram.__getstate__``), compiles its batched twin and
+execution plans locally on first use, and keeps them in a bounded per-worker
+cache — the steady-state cost of a shard is one values-in/values-out message
+round-trip, not a recompile.
+
+Semantics mirror :func:`repro.compiler.batch.run_batch` exactly:
+
+* results are reassembled **order-preserving** (span order = batch order);
+* a trapping input is attributed to its **global** batch index — a worker
+  reports shard-local indices and the executor re-bases them by the span
+  offset (:meth:`BatchError.rebased`);
+* ``return_exceptions=True`` places each input's :class:`BatchError` in its
+  own slot with every sibling — including siblings in *other* shards —
+  computed exactly; with ``return_exceptions=False`` the error with the
+  smallest global index is raised (the same first-failure rule as the
+  single-process fallback loop);
+* a worker that dies mid-task is detected, its spans are re-run in-process
+  (correctness never depends on the pool), and a replacement worker is
+  spawned for subsequent batches.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import threading
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+import multiprocessing as mp
+
+from ..compiler.batch import BatchError, split_shards
+
+#: per-worker program cache bound — old entries are evicted LRU and
+#: transparently re-shipped on the next miss (the "need_prog" reply)
+_WORKER_CACHE_SIZE = 64
+
+_STATUS_OK = "ok"
+_STATUS_ERROR = "error"
+_STATUS_NEED_PROG = "need_prog"
+
+
+class ShardExecutorClosed(RuntimeError):
+    """The executor was closed; no further batches can be dispatched."""
+
+
+def _worker_main(in_q, out_q) -> None:
+    """Worker loop: cache programs by key, run batched spans, report results.
+
+    Every shard runs with ``return_exceptions=True`` so one trapping input
+    cannot poison its shard siblings; the parent decides whether to raise.
+    """
+    cache: OrderedDict[int, object] = OrderedDict()
+    while True:
+        msg = in_q.get()
+        if msg is None:
+            return
+        task_id, shard_idx, key, blob, values, max_steps = msg
+        try:
+            prog = cache.get(key)
+            if prog is None:
+                if blob is None:
+                    # evicted (or never shipped): ask the parent to resend
+                    out_q.put((task_id, shard_idx, _STATUS_NEED_PROG, None))
+                    continue
+                prog = pickle.loads(blob)
+                cache[key] = prog
+                while len(cache) > _WORKER_CACHE_SIZE:
+                    cache.popitem(last=False)
+            else:
+                cache.move_to_end(key)
+            results = prog.run_batch(
+                values, max_steps=max_steps, return_exceptions=True
+            )
+            # results are S-objects and BatchErrors — both pickle by
+            # construction (Value.__reduce__ / BatchError.__reduce__)
+            out_q.put((task_id, shard_idx, _STATUS_OK, results))
+        except BaseException as e:  # noqa: BLE001 - must cross the process boundary
+            # mp.Queue pickles in a background feeder thread, so put()
+            # never raises on an unpicklable payload — it would be dropped
+            # silently and the parent would wait forever.  Probe first.
+            try:
+                pickle.dumps(e)
+            except Exception:
+                e = RuntimeError(repr(e))
+            out_q.put((task_id, shard_idx, _STATUS_ERROR, e))
+
+
+class _Worker:
+    """One persistent worker process plus the parent-side shipped-key view."""
+
+    __slots__ = ("process", "in_q", "shipped")
+
+    def __init__(self) -> None:
+        self.shipped: OrderedDict[int, None] = OrderedDict()
+        self.in_q = None  # set by ShardExecutor._spawn
+        self.process = None  # set by ShardExecutor._spawn
+
+    def mark_shipped(self, key: int) -> None:
+        self.shipped[key] = None
+        self.shipped.move_to_end(key)
+        # mirror the worker-side bound; divergence is harmless because a
+        # worker-side miss replies "need_prog" and the parent resends
+        while len(self.shipped) > _WORKER_CACHE_SIZE:
+            self.shipped.popitem(last=False)
+
+
+class ShardExecutor:
+    """A persistent ``multiprocessing`` pool executing batch shards.
+
+    ``n_workers`` defaults to the machine's core count.  ``start_method``
+    defaults to ``fork`` where available (instant worker start; the plan
+    caches and their locks are fork-safe, see ``repro.bvram.machine``),
+    falling back to ``spawn``.  Dispatch is serialised by an internal lock,
+    so one executor may be shared by many threads (e.g. the server's
+    executor threads).
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers is not None and n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        self.n_workers = n_workers or os.cpu_count() or 1
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self.start_method = start_method
+        self._out = self._ctx.Queue()
+        self._lock = threading.Lock()
+        self._task_counter = 0
+        self._closed = False
+        #: recently dispatched programs: id(prog) -> (prog, wire key, blob).
+        #: The strong ref pins id() while the entry lives; the *wire* key is
+        #: a monotonic counter, never reused, so an evicted entry whose
+        #: id() is later recycled by a new program can never alias a stale
+        #: worker-cache slot.  LRU-bounded like the worker-side cache.
+        self._programs: OrderedDict[int, tuple[object, int, bytes]] = OrderedDict()
+        self._next_key = 0
+        self._workers: list[_Worker] = []
+        for _ in range(self.n_workers):
+            w = _Worker()
+            self._spawn(w)
+            self._workers.append(w)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, worker: _Worker) -> None:
+        # A fresh input queue per (re)spawn: a worker killed while blocked in
+        # ``in_q.get()`` may die holding the queue's reader lock, and a
+        # replacement reading the old queue would block on it forever.
+        worker.in_q = self._ctx.Queue()
+        worker.process = self._ctx.Process(
+            target=_worker_main, args=(worker.in_q, self._out), daemon=True
+        )
+        worker.process.start()
+        worker.shipped.clear()
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            try:
+                w.in_q.put(None)
+            except Exception:
+                pass
+        for w in self._workers:
+            w.process.join(timeout=5)
+            if w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=5)
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _blob_for(self, prog) -> tuple[int, bytes]:
+        pid = id(prog)
+        entry = self._programs.get(pid)
+        if entry is None or entry[0] is not prog:
+            self._next_key += 1
+            entry = (
+                prog,
+                self._next_key,
+                pickle.dumps(prog, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            self._programs[pid] = entry
+            while len(self._programs) > _WORKER_CACHE_SIZE:
+                self._programs.popitem(last=False)
+        else:
+            self._programs.move_to_end(pid)
+        return entry[1], entry[2]
+
+    def _send(self, worker: _Worker, task_id, shard_idx, key, blob, values, max_steps):
+        ship = None
+        if key not in worker.shipped:
+            ship = blob
+            worker.mark_shipped(key)
+        worker.in_q.put((task_id, shard_idx, key, ship, list(values), max_steps))
+
+    def run_batch(
+        self,
+        prog,
+        values: Sequence[object],
+        shards: Optional[int] = None,
+        max_steps: int = 10_000_000,
+        return_exceptions: bool = False,
+    ) -> list:
+        """Run ``prog`` over ``values`` split into ``shards`` worker spans.
+
+        See the module docstring for the exact semantics; ``shards``
+        defaults to the worker count.  More shards than workers is allowed
+        (spans round-robin onto workers and each worker drains its spans in
+        order) — useful for tests and for bounding per-message size.
+        """
+        if self._closed:
+            raise ShardExecutorClosed("ShardExecutor is closed")
+        values = list(values)
+        if not values:
+            return []
+        n_shards = shards or self.n_workers
+        spans = split_shards(len(values), n_shards)
+
+        with self._lock:
+            # key/blob assignment must happen under the dispatch lock: two
+            # threads registering different cold programs concurrently could
+            # otherwise read the same wire key, aliasing worker cache slots
+            key, blob = self._blob_for(prog)
+            self._task_counter += 1
+            task_id = self._task_counter
+            assignment = {}  # shard_idx -> (worker, offset, chunk)
+            for shard_idx, (off, length) in enumerate(spans):
+                worker = self._workers[shard_idx % self.n_workers]
+                chunk = values[off : off + length]
+                assignment[shard_idx] = (worker, off, chunk)
+                self._send(worker, task_id, shard_idx, key, blob, chunk, max_steps)
+            per_shard = self._collect(
+                prog, task_id, key, blob, assignment, max_steps
+            )
+
+        out: list = []
+        first_error: Optional[BatchError] = None
+        for shard_idx in range(len(spans)):
+            off = spans[shard_idx][0]
+            for local_idx, res in enumerate(per_shard[shard_idx]):
+                if isinstance(res, BatchError):
+                    res = res.rebased(off)
+                    if first_error is None or res.index < first_error.index:
+                        first_error = res
+                out.append(res)
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return out
+
+    def _collect(self, prog, task_id, key, blob, assignment, max_steps) -> dict:
+        """Gather one result per assigned shard, surviving worker deaths."""
+        done: dict[int, list] = {}
+        pending = set(assignment)
+        while pending:
+            try:
+                rid, shard_idx, status, payload = self._out.get(timeout=0.25)
+            except queue_mod.Empty:
+                # no progress: find dead workers, reclaim EVERY pending span
+                # assigned to them, then respawn.  (Respawning before all of
+                # a worker's spans are reclaimed would hang: the replacement
+                # passes the is_alive() check but reads a fresh queue, so
+                # the remaining spans would never complete.)
+                dead = [w for w in self._workers if not w.process.is_alive()]
+                if not dead:
+                    continue
+                dead_ids = {id(w) for w in dead}
+                for shard_idx in sorted(pending):
+                    worker, off, chunk = assignment[shard_idx]
+                    if id(worker) in dead_ids:
+                        done[shard_idx] = prog.run_batch(
+                            chunk, max_steps=max_steps, return_exceptions=True
+                        )
+                        pending.discard(shard_idx)
+                for w in dead:
+                    self._spawn(w)
+                continue
+            if rid != task_id or shard_idx not in pending:
+                continue  # stale result from an abandoned task
+            if status == _STATUS_NEED_PROG:
+                # the worker evicted this program: resend with the blob
+                worker = assignment[shard_idx][0]
+                worker.shipped.pop(key, None)
+                self._send(
+                    worker, task_id, shard_idx, key, blob,
+                    assignment[shard_idx][2], max_steps,
+                )
+                continue
+            if status == _STATUS_ERROR:
+                # infrastructure failure inside the worker (not an input
+                # trap — those come back as in-slot BatchErrors): recompute
+                # the span in-process so the caller still gets exact results
+                done[shard_idx] = prog.run_batch(
+                    assignment[shard_idx][2],
+                    max_steps=max_steps,
+                    return_exceptions=True,
+                )
+                pending.discard(shard_idx)
+                continue
+            done[shard_idx] = payload
+            pending.discard(shard_idx)
+        return done

@@ -1,0 +1,236 @@
+"""The async front door: batching behaviour, backpressure, isolation, metrics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.compiler import BatchError, compile_nsc
+from repro.nsc import builder as B
+from repro.nsc.types import NAT, SeqType
+from repro.serving import Server, ServerClosed, ServerOverloaded
+
+
+def _affine_fn():
+    x = B.gensym("x")
+    return B.map_(B.lam(x, NAT, B.mod(B.add(B.mul(B.v(x), 7), 3), 101)))
+
+
+def _get_fn():
+    """``get(xs)``: traps unless the input is a singleton sequence."""
+    x = B.gensym("x")
+    return B.lam(x, SeqType(NAT), B.get_(B.v(x)))
+
+
+@pytest.fixture(scope="module")
+def affine_prog():
+    return compile_nsc(_affine_fn())
+
+
+def test_submit_batches_and_matches_run(affine_prog):
+    requests = [[i, i + 1, (i * 13) % 97] for i in range(100)]
+    expected = [affine_prog.run(v)[0] for v in requests]
+
+    async def main():
+        async with Server(max_batch=16, max_delay_ms=5.0) as srv:
+            results = await asyncio.gather(
+                *(srv.submit(affine_prog, v) for v in requests)
+            )
+            return srv, results
+
+    srv, results = asyncio.run(main())
+    assert results == expected
+    m = srv.metrics
+    assert m.submitted == m.completed == 100
+    assert m.failed == 0 and m.rejected == 0
+    # micro-batching actually engaged: far fewer batches than requests,
+    # and no batch above the knob
+    assert m.batches < 100
+    assert max(m.batch_sizes) <= 16
+    assert sum(size * n for size, n in m.batch_sizes.items()) == 100
+    assert m.queue_depth == 0
+
+
+def test_single_request_dispatches_at_deadline(affine_prog):
+    async def main():
+        async with Server(max_batch=64, max_delay_ms=5.0) as srv:
+            result = await asyncio.wait_for(srv.submit(affine_prog, [1, 2, 3]), 5.0)
+            return srv, result
+
+    srv, result = asyncio.run(main())
+    assert result == affine_prog.run([1, 2, 3])[0]
+    # nothing co-batched, so the deadline—not max_batch—must have fired
+    assert dict(srv.metrics.batch_sizes) == {1: 1}
+
+
+def test_trap_isolation_per_request():
+    prog = compile_nsc(_get_fn())
+    requests = [[i] for i in range(12)]
+    requests[5] = [1, 2, 3]  # traps: get of a length-3 sequence
+
+    async def main():
+        async with Server(max_batch=32, max_delay_ms=5.0) as srv:
+            results = await asyncio.gather(
+                *(srv.submit(prog, v) for v in requests), return_exceptions=True
+            )
+            return srv, results
+
+    srv, results = asyncio.run(main())
+    for i, res in enumerate(results):
+        if i == 5:
+            assert isinstance(res, BatchError)
+        else:
+            assert res == prog.run(requests[i])[0]
+    assert srv.metrics.completed == 11
+    assert srv.metrics.failed == 1
+
+
+def test_try_submit_backpressure(affine_prog):
+    async def main():
+        srv = Server(max_batch=4, max_delay_ms=0.0, max_queue=4)
+        futs = []
+        # no await between try_submit calls, so the drainer never runs and
+        # the bounded queue must overflow deterministically at request 5
+        with pytest.raises(ServerOverloaded):
+            for _ in range(10):
+                futs.append(srv.try_submit(affine_prog, [1, 2]))
+        assert len(futs) == 4
+        results = await asyncio.gather(*futs)
+        assert srv.metrics.rejected == 1
+        await srv.close()
+        return results
+
+    results = asyncio.run(main())
+    expected = affine_prog.run([1, 2])[0]
+    assert results == [expected] * 4
+
+
+def test_submit_blocks_instead_of_rejecting(affine_prog):
+    requests = [[i] for i in range(30)]
+    expected = [affine_prog.run(v)[0] for v in requests]
+
+    async def main():
+        # queue bound far below the request count: submit() must wait for
+        # slots (backpressure), never raise
+        async with Server(max_batch=4, max_delay_ms=0.5, max_queue=2) as srv:
+            results = await asyncio.gather(
+                *(srv.submit(affine_prog, v) for v in requests)
+            )
+            assert srv.metrics.rejected == 0
+            return results
+
+    assert asyncio.run(main()) == expected
+
+
+def test_submit_after_close_raises(affine_prog):
+    async def main():
+        srv = Server()
+        await srv.submit(affine_prog, [1])
+        await srv.close()
+        with pytest.raises(ServerClosed):
+            await srv.submit(affine_prog, [2])
+
+    asyncio.run(main())
+
+
+def test_close_fails_queued_requests(affine_prog):
+    async def main():
+        srv = Server(max_batch=64, max_delay_ms=10_000.0)
+        # the drainer holds the batch open for the (huge) deadline; closing
+        # must fail the waiting request rather than hang it
+        fut = srv.try_submit(affine_prog, [1, 2])
+        await asyncio.sleep(0.05)  # let the drainer pop it into the batch
+        await srv.close()
+        with pytest.raises(ServerClosed):
+            await asyncio.wait_for(fut, 1.0)
+
+    asyncio.run(main())
+
+
+def test_close_waits_for_in_flight_batch():
+    # a batch already on the executor thread must deliver its results even
+    # if close() lands mid-execution
+    x = B.gensym("x")
+    pred = B.lam(x, NAT, B.gt(B.v(x), 1))
+    y = B.gensym("y")
+    step = B.lam(
+        y, NAT,
+        B.if_(B.eq(B.mod(B.v(y), 2), 0), B.div(B.v(y), 2), B.add(B.mul(B.v(y), 3), 1)),
+    )
+    slow_prog = compile_nsc(B.map_(B.while_(pred, step)))
+    request = [(i * 7919) % 99_000 + 2 for i in range(256)]  # ~tens of ms
+    expected = slow_prog.run(request)[0]
+
+    async def main():
+        srv = Server(max_batch=1, max_delay_ms=0.0)
+        task = asyncio.create_task(srv.submit(slow_prog, request))
+        lane = None
+        for _ in range(2000):  # wait until the batch is actually executing
+            await asyncio.sleep(0.001)
+            if srv._lanes:
+                lane = next(iter(srv._lanes.values()))
+                if lane.exec_lock.locked():
+                    break
+        assert lane is not None and lane.exec_lock.locked(), "batch never started"
+        await srv.close()
+        return await task
+
+    assert asyncio.run(main()) == expected
+
+
+def test_shard_threshold_above_max_batch_rejected():
+    class _FakeExecutor:  # close enough: only identity is checked at init
+        pass
+
+    with pytest.raises(ValueError):
+        Server(max_batch=64, shard_threshold=256, executor=_FakeExecutor())
+
+
+def test_accepts_uncompiled_function():
+    fn = _affine_fn()
+    reference = compile_nsc(fn)
+
+    async def main():
+        async with Server(max_batch=8, max_delay_ms=2.0) as srv:
+            return await asyncio.gather(
+                *(srv.submit(fn, [i, i + 2]) for i in range(10))
+            )
+
+    results = asyncio.run(main())
+    assert results == [reference.run([i, i + 2])[0] for i in range(10)]
+
+
+def test_idle_lanes_evicted_at_max_programs():
+    progs = [compile_nsc(_affine_fn()) for _ in range(4)]
+    expected = [p.run([3, 1])[0] for p in progs]
+
+    async def main():
+        async with Server(max_batch=4, max_delay_ms=0.0, max_programs=2) as srv:
+            for rounds in range(2):  # revisit evicted programs: still correct
+                for p, exp in zip(progs, expected):
+                    assert await srv.submit(p, [3, 1]) == exp
+                    await asyncio.sleep(0.005)  # let the drainer go idle
+            assert len(srv._lanes) <= 2
+            assert srv.metrics.completed == 8
+
+    asyncio.run(main())
+
+
+def test_metrics_snapshot_shape(affine_prog):
+    async def main():
+        async with Server(max_batch=8, max_delay_ms=1.0) as srv:
+            await asyncio.gather(*(srv.submit(affine_prog, [i]) for i in range(20)))
+            return srv.metrics
+
+    metrics = asyncio.run(main())
+    snap = metrics.snapshot()
+    assert snap["submitted"] == snap["completed"] == 20
+    assert snap["p50_latency_s"] is not None
+    assert snap["p99_latency_s"] >= snap["p50_latency_s"]
+    assert snap["requests_per_sec"] > 0
+    assert snap["queue_depth"] == 0
+    assert sum(snap["batch_size_hist"].values()) == snap["batches"]
+    assert metrics.latency_percentile(0.0) <= metrics.latency_percentile(100.0)
+    with pytest.raises(ValueError):
+        metrics.latency_percentile(101.0)

@@ -1,0 +1,176 @@
+"""Shard executor semantics: order, trap attribution, shard boundaries.
+
+The contract under test: splitting a batch across worker processes changes
+*nothing* observable — results come back in batch order, a trapping input is
+named by its **global** batch index whatever shard it landed in, and
+``return_exceptions=True`` places each error in exactly its own slot.  The
+boundary cases the ISSUE calls out are covered explicitly: first/last index
+of an interior shard, shards of size 1, and the empty remainder shard that
+appears when ``shards`` exceeds the batch size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import BatchError, compile_nsc
+from repro.compiler.batch import split_shards
+from repro.nsc import builder as B
+from repro.nsc.types import NAT, SeqType
+from repro.serving import ShardExecutor, ShardExecutorClosed
+
+
+def _get_fn():
+    """``get(xs)``: traps unless the input is a singleton sequence."""
+    x = B.gensym("x")
+    return B.lam(x, SeqType(NAT), B.get_(B.v(x)))
+
+
+def _affine_fn():
+    x = B.gensym("x")
+    return B.map_(B.lam(x, NAT, B.mod(B.add(B.mul(B.v(x), 7), 3), 101)))
+
+
+@pytest.fixture(scope="module")
+def executor():
+    ex = ShardExecutor(n_workers=2)
+    yield ex
+    ex.close()
+
+
+@pytest.fixture(scope="module")
+def get_prog():
+    return compile_nsc(_get_fn())
+
+
+def test_split_shards_spans():
+    assert split_shards(8, 4) == [(0, 2), (2, 2), (4, 2), (6, 2)]
+    assert split_shards(10, 4) == [(0, 3), (3, 3), (6, 2), (8, 2)]
+    assert split_shards(3, 4) == [(0, 1), (1, 1), (2, 1), (3, 0)]
+    assert split_shards(1, 1) == [(0, 1)]
+    with pytest.raises(ValueError):
+        split_shards(4, 0)
+
+
+def test_sharded_matches_unsharded_order(executor):
+    prog = compile_nsc(_affine_fn())
+    batch = [[i, (i * 7) % 23, i + 1] for i in range(37)]  # uneven spans
+    expected = prog.run_batch(batch)
+    for shards in (1, 2, 3, 5):
+        assert executor.run_batch(prog, batch, shards=shards) == expected
+    # and through the CompiledProgram front door
+    assert prog.run_batch(batch, executor=executor, shards=2) == expected
+
+
+# batch 8 over 4 shards -> spans (0,2)(2,2)(4,2)(6,2): 0/7 are the global
+# edges, 2/3 an interior shard's first/last, 4/5 another interior pair
+@pytest.mark.parametrize("bad_index", [0, 2, 3, 4, 5, 7])
+def test_trap_at_shard_boundary_is_global(executor, get_prog, bad_index):
+    batch = [[i] for i in range(8)]
+    batch[bad_index] = []  # get([]) traps
+    with pytest.raises(BatchError) as ei:
+        executor.run_batch(get_prog, batch, shards=4)
+    assert ei.value.index == bad_index
+    assert f"batch index {bad_index}" in str(ei.value)
+
+    results = executor.run_batch(get_prog, batch, shards=4, return_exceptions=True)
+    assert len(results) == 8
+    for i, res in enumerate(results):
+        if i == bad_index:
+            assert isinstance(res, BatchError) and res.index == bad_index
+        else:
+            assert res == get_prog.run(batch[i])[0]
+
+
+@pytest.mark.parametrize("bad_index", [0, 1, 3])
+def test_trap_in_size_one_shard(executor, get_prog, bad_index):
+    batch = [[i] for i in range(4)]  # 4 over 4 shards: every shard size 1
+    batch[bad_index] = [1, 2]
+    with pytest.raises(BatchError) as ei:
+        executor.run_batch(get_prog, batch, shards=4)
+    assert ei.value.index == bad_index
+
+
+def test_trap_with_empty_remainder_shard(executor, get_prog):
+    batch = [[0], [1], [4, 5]]  # 3 over 4 shards: last span is empty
+    results = executor.run_batch(get_prog, batch, shards=4, return_exceptions=True)
+    assert len(results) == 3
+    assert results[0] == get_prog.run([0])[0]
+    assert results[1] == get_prog.run([1])[0]
+    assert isinstance(results[2], BatchError) and results[2].index == 2
+
+
+def test_two_traps_raise_smallest_global_index(executor, get_prog):
+    batch = [[i] for i in range(8)]
+    batch[6] = []  # second shard pair
+    batch[1] = []  # first shard: must win
+    with pytest.raises(BatchError) as ei:
+        executor.run_batch(get_prog, batch, shards=4)
+    assert ei.value.index == 1
+
+
+def test_batch_error_pickles_exactly():
+    import pickle
+
+    err = BatchError.at(17, "division by zero")
+    back = pickle.loads(pickle.dumps(err))
+    assert isinstance(back, BatchError)
+    assert back.index == 17
+    assert back.cause_text == "division by zero"
+    assert str(back) == str(err)
+    rebased = back.rebased(100)
+    assert rebased.index == 117
+    assert "batch index 117" in str(rebased)
+
+
+def test_executor_serves_multiple_programs(executor):
+    affine = compile_nsc(_affine_fn())
+    getter = compile_nsc(_get_fn())
+    for _ in range(3):  # alternate so the per-worker caches both hit
+        batch_a = [[1, 2, 3], [4, 5, 6]]
+        assert executor.run_batch(affine, batch_a, shards=2) == affine.run_batch(batch_a)
+        batch_g = [[7], [8]]
+        assert executor.run_batch(getter, batch_g, shards=2) == getter.run_batch(batch_g)
+
+
+def test_empty_batch(executor, get_prog):
+    assert executor.run_batch(get_prog, [], shards=4) == []
+
+
+def test_closed_executor_rejects():
+    ex = ShardExecutor(n_workers=1)
+    ex.close()
+    ex.close()  # idempotent
+    with pytest.raises(ShardExecutorClosed):
+        ex.run_batch(compile_nsc(_get_fn()), [[1]])
+
+
+def test_dead_worker_with_multiple_pending_spans(get_prog):
+    # regression: with more shards than workers, a dead worker owns several
+    # spans of one task; ALL of them must be reclaimed before the respawn
+    # (reclaiming only the first used to leave the rest pending forever,
+    # because the respawned process passes the is_alive() check)
+    ex = ShardExecutor(n_workers=1)
+    try:
+        batch = [[i] for i in range(4)]
+        expected = get_prog.run_batch(batch)
+        ex._workers[0].process.terminate()
+        ex._workers[0].process.join(timeout=5)
+        assert ex.run_batch(get_prog, batch, shards=2) == expected
+        assert ex.run_batch(get_prog, batch, shards=2) == expected  # respawned
+    finally:
+        ex.close()
+
+
+def test_survives_worker_death(executor, get_prog):
+    # kill one worker outright: the executor must detect the dead process,
+    # recompute its spans in-process, and respawn for the next batch
+    victim = executor._workers[0]
+    victim.process.terminate()
+    victim.process.join(timeout=5)
+    batch = [[i] for i in range(6)]
+    expected = get_prog.run_batch(batch)
+    assert executor.run_batch(get_prog, batch, shards=2) == expected
+    assert all(w.process.is_alive() for w in executor._workers)
+    # and the respawned worker serves the following batch normally
+    assert executor.run_batch(get_prog, batch, shards=2) == expected
