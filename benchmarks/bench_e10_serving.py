@@ -72,6 +72,7 @@ def test_e10_serving_throughput(benchmark):
                 looped_wall_s=t_loop,
                 requests_per_s=round(rps_batch),
                 looped_requests_per_s=round(rps_loop),
+                backend="fused",
                 opt_level=prog.opt_level,
             )
             rows.append(
@@ -115,7 +116,11 @@ def test_e10_batched_cost_is_max_not_sum(benchmark):
         )
         assert res.time < t_sum / 4, f"{name}: batched T' should beat the summed loop"
         common.record(
-            f"e10/costs/{name}/batch64", time=res.time, work=res.work, opt_level=2
+            f"e10/costs/{name}/batch64",
+            time=res.time,
+            work=res.work,
+            backend="fused",
+            opt_level=2,
         )
         rows.append([name, t_max, t_sum, res.time, res.work])
     print("\nE10b batched T' vs per-request max/sum at batch 64")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every ``bench_e*.py`` experiment and emit ``BENCH_PR5.json``.
+"""Run every ``bench_e*.py`` experiment and emit ``BENCH_PR6.json``.
 
 This is the perf-regression harness the CI job runs:
 
@@ -8,7 +8,7 @@ This is the perf-regression harness the CI job runs:
    pointing at a scratch file — the experiments' :func:`common.record` calls
    land there as JSON lines;
 2. the per-experiment wall-clock and records are aggregated into one
-   machine-readable JSON document (default: ``BENCH_PR5.json`` at the repo
+   machine-readable JSON document (default: ``BENCH_PR6.json`` at the repo
    root), suitable for uploading as a workflow artifact and for committing
    as the next baseline;
 3. with ``--check``, the document is compared against the committed baseline
@@ -26,10 +26,19 @@ runner leaves every share unchanged (no false alarms against a baseline
 recorded on other hardware), while a single experiment slowing down >2x
 relative to its siblings inflates its share and fails the gate.
 
+``--only`` restricts the run to a comma-separated list of experiments
+(``--only e9,e10``, matching the ``eN`` prefix of each bench file) — for
+iterating on one experiment without paying for the whole sweep.  The
+regression gate is subset-aware: baseline experiments outside the
+selection are skipped, and the wall-clock shares are renormalised over
+the selected subset on *both* sides so partial runs compare like with
+like.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py            # write BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/run_all.py            # write BENCH_PR6.json
     PYTHONPATH=src python benchmarks/run_all.py --check    # + regression gate
+    PYTHONPATH=src python benchmarks/run_all.py --only e9,e10  # subset run
     PYTHONPATH=src python benchmarks/run_all.py --update-baseline  # refresh baseline
 """
 
@@ -79,14 +88,21 @@ def run_experiment(path: str) -> tuple[float, list[dict], int]:
     return wall, records, proc.returncode
 
 
-def collect(out_path: str) -> dict:
+def collect(out_path: str, only: set[str] | None = None) -> dict:
     experiments: dict[str, dict] = {}
     failed = []
     for path in sorted(glob.glob(os.path.join(BENCH_DIR, "bench_e*.py"))):
         name = os.path.basename(path).split("_")[1]  # bench_e9_compiled.py -> e9
+        if only is not None and name not in only:
+            continue
         print(f"[run_all] {os.path.basename(path)} ...", flush=True)
         wall, records, rc = run_experiment(path)
-        experiments[name] = {"wall_s": round(wall, 3), "records": records}
+        if name in experiments:  # several files per experiment (e10): merge
+            exp = experiments[name]
+            exp["wall_s"] = round(exp["wall_s"] + wall, 3)
+            exp["records"].extend(records)
+        else:
+            experiments[name] = {"wall_s": round(wall, 3), "records": records}
         print(f"[run_all]   {wall:.1f}s, {len(records)} records, rc={rc}", flush=True)
         if rc != 0:
             failed.append(name)
@@ -105,13 +121,18 @@ def collect(out_path: str) -> dict:
     return payload
 
 
-def check(payload: dict, baseline_path: str, factor: float) -> int:
+def check(
+    payload: dict, baseline_path: str, factor: float, only: set[str] | None = None
+) -> int:
     with open(baseline_path, encoding="utf-8") as fh:
         baseline = json.load(fh)
     regressions = []
-    base_total = sum(e["wall_s"] for e in baseline.get("experiments", {}).values())
+    base_exps = baseline.get("experiments", {})
+    if only is not None:  # subset run: compare (and renormalise) within it
+        base_exps = {n: e for n, e in base_exps.items() if n in only}
+    base_total = sum(e["wall_s"] for e in base_exps.values())
     new_total = sum(e["wall_s"] for e in payload["experiments"].values())
-    for name, base_exp in baseline.get("experiments", {}).items():
+    for name, base_exp in base_exps.items():
         new_exp = payload["experiments"].get(name)
         if new_exp is None:
             regressions.append(f"{name}: experiment disappeared")
@@ -149,22 +170,35 @@ def check(payload: dict, baseline_path: str, factor: float) -> int:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    ap.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR5.json"))
+    ap.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR6.json"))
     ap.add_argument(
         "--baseline", default=os.path.join(BENCH_DIR, "bench_baseline.json")
     )
     ap.add_argument("--check", action="store_true", help="enable the regression gate")
     ap.add_argument("--factor", type=float, default=2.0)
     ap.add_argument(
+        "--only",
+        default=None,
+        metavar="e9,e10",
+        help="run only these comma-separated experiments (subset-aware --check)",
+    )
+    ap.add_argument(
         "--update-baseline",
         action="store_true",
         help="also write the fresh results to --baseline (one-command refresh)",
     )
     args = ap.parse_args()
-    payload = collect(args.out)
+    only = (
+        {n.strip() for n in args.only.split(",") if n.strip()}
+        if args.only
+        else None
+    )
+    if only and args.update_baseline:
+        ap.error("--update-baseline needs a full run (drop --only)")
+    payload = collect(args.out, only=only)
     rc = 0
     if args.check:
-        rc = check(payload, args.baseline, args.factor)
+        rc = check(payload, args.baseline, args.factor, only=only)
     if args.update_baseline:
         with open(args.baseline, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

@@ -1,0 +1,51 @@
+"""Pluggable execution backends for untraced BVRAM runs (PR 6).
+
+A backend turns a validated program into a cached *plan* and drives it with
+the exact Section 2 ``T``/``W`` accounting.  Three ship here:
+
+* ``interp`` — one Python closure per instruction (the PR 3 fast path);
+* ``fused`` — one closure call per straight-line block (the PR 4/5 default);
+* ``vector`` / ``vector-jit`` — each block compiled to one *generated*
+  Python function of NumPy mega-ops with interval-bound guard elision
+  (``vector-jit`` additionally splices in numba kernels when available).
+
+Select per call (``run(..., backend="vector")``), per program
+(``compile_nsc(fn, backend="vector")`` — the choice survives pickling to
+shard workers), or per process (``REPRO_BACKEND=vector``).
+"""
+
+from .base import (
+    BLOCK,
+    HALT,
+    JUMP,
+    STEP,
+    TRAP,
+    Backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from . import interp, fused, vector  # noqa: F401  (import registers the backends)
+from .interp import INTERP
+from .fused import FUSED
+from .jit import HAVE_NUMBA
+from .vector import VECTOR, VECTOR_JIT
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "STEP",
+    "JUMP",
+    "HALT",
+    "TRAP",
+    "BLOCK",
+    "INTERP",
+    "FUSED",
+    "VECTOR",
+    "VECTOR_JIT",
+    "HAVE_NUMBA",
+]

@@ -1,0 +1,275 @@
+"""The ``fused`` backend: superinstructions over the interp plan (PR 4).
+
+Maximal straight-line runs of non-jump instructions execute as one *fused*
+step function — a single dispatch per block instead of one per instruction —
+with the ``T``/``W`` totals accumulated inside the closure.
+
+Block boundaries are forced by control flow only:
+
+* any instruction that is the target of a ``goto`` / ``goto_if_empty``
+  starts a new block (execution may enter there mid-stream);
+* ``goto`` / ``goto_if_empty`` / ``halt`` / ``trap`` each stay a plan entry
+  of their own (they leave the block or the program).
+
+Accounting is **bit-identical** to the traced interpreter (pinned by
+``tests/test_optimize.py`` and the ``tests/test_batch.py`` battery): every
+instruction is charged 1 time unit plus the post-execution lengths of its
+read and written registers, sampled immediately after it executes — a later
+instruction in the same block may resize a register, so the work loop cannot
+be hoisted out.  When an instruction raises mid-block, the totals of the
+instructions before it are reported through a shared ``partial`` cell and
+the raising instruction is not charged, matching the traced loop's
+charge-after-execute discipline.
+
+The grouping pass (:func:`group_entries`) and the jump re-targeting
+(:func:`jump_entry`) are shared with the vector backend, which compiles the
+very same blocks into generated NumPy mega-ops instead of closure loops —
+both backends therefore agree exactly on plan indices and ``max_steps``
+block boundaries.
+"""
+
+from __future__ import annotations
+
+from ..bvram import isa
+from ..bvram.errors import BVRAMError
+from .base import (
+    BLOCK,
+    HALT,
+    JUMP,
+    STEP,
+    Backend,
+    format_listing,
+    register_backend,
+    step_budget_error,
+)
+from .interp import plan_for
+from .registry import PlanCache
+
+
+def make_block(steps: list[tuple]) -> tuple:
+    """Fuse ``(kernel, rw)`` pairs into one step closure.
+
+    The closure returns ``(time, work)`` for the whole block; if a kernel
+    raises, the totals of the completed prefix are written into ``partial``
+    before the exception propagates.
+    """
+    k = len(steps)
+    if k == 1:
+        fn, rw = steps[0]
+
+        def fused_one(regs, partial, fn=fn, rw=rw):
+            fn(regs)
+            w = 0
+            for r in rw:
+                w += regs[r].size
+            return 1, w
+
+        # a raising kernel leaves partial untouched: zero completed steps
+        fused_one.steps = (steps[0],)
+        return fused_one, 1
+
+    def fused(regs, partial, steps=tuple(steps), k=k):
+        t = 0
+        w = 0
+        try:
+            for fn, rw in steps:
+                fn(regs)
+                t += 1
+                for r in rw:
+                    w += regs[r].size
+        except BaseException:
+            partial[0] = t
+            partial[1] = w
+            raise
+        return k, w
+
+    # the executor drives the block per-instruction through this attribute
+    # when the step budget would expire mid-block (exact max_steps parity)
+    fused.steps = tuple(steps)
+    return fused, k
+
+
+def group_entries(program: isa.Program, base: list[tuple]):
+    """Group instruction indices into fused-plan entries.
+
+    Returns ``(groups, entry_target)``: ``groups`` is a list of
+    ``(entry kind, covered instruction indices)`` in plan order, and
+    ``entry_target`` maps an instruction index that is a jump target to its
+    plan-entry index (every jump target is a block boundary by
+    construction, so the mapping is total; a label one past the end maps to
+    ``len(groups)``, falling off the plan).
+    """
+    code = program.instructions
+    labels = program.labels
+    targets = {
+        labels[instr.label]
+        for instr in code
+        if isinstance(instr, (isa.Goto, isa.GotoIfEmpty))
+    }
+    n = len(base)
+
+    groups: list[tuple[int, list[int]]] = []
+    i = 0
+    while i < n:
+        kind = base[i][0]
+        if kind != STEP:
+            groups.append((kind, [i]))
+            i += 1
+            continue
+        run = [i]
+        j = i + 1
+        while j < n and base[j][0] == STEP and j not in targets:
+            run.append(j)
+            j += 1
+        groups.append((BLOCK, run))
+        i = j
+
+    start_to_entry = {idxs[0]: gi for gi, (_, idxs) in enumerate(groups)}
+
+    def entry_target(instr_index: int) -> int:
+        if instr_index >= n:  # label past the last instruction: fall off the end
+            return len(groups)
+        return start_to_entry[instr_index]
+
+    return groups, entry_target
+
+
+def jump_entry(program: isa.Program, base: list[tuple], first: int, entry_target) -> tuple:
+    """The re-targeted ``(JUMP, fn, rw)`` plan entry for instruction ``first``."""
+    instr = program.instructions[first]
+    target = entry_target(program.labels[instr.label])
+    rw = base[first][2]
+    if isinstance(instr, isa.Goto):
+
+        def jump(regs, target=target):
+            return target
+
+    else:  # GotoIfEmpty
+        src = instr.src
+
+        def jump(regs, target=target, src=src):
+            return target if regs[src].size == 0 else -1
+
+    return (JUMP, jump, rw)
+
+
+def build_fused_plan(program: isa.Program) -> list[tuple]:
+    """Compile ``program`` into ``(kind, payload, extra)`` fused-plan entries.
+
+    ``BLOCK`` entries carry ``(fused closure, instruction count)``; jump
+    entries are re-targeted from instruction indices to fused-plan indices.
+    Entry kinds other than ``BLOCK`` keep the per-instruction plan's
+    payload/rw layout.
+    """
+    base = plan_for(program)
+    groups, entry_target = group_entries(program, base)
+    plan: list[tuple] = []
+    for kind, idxs in groups:
+        first = idxs[0]
+        if kind == BLOCK:
+            steps = [(base[j][1], base[j][2]) for j in idxs]
+            plan.append((BLOCK, *make_block(steps)))
+        elif kind == JUMP:
+            plan.append(jump_entry(program, base, first, entry_target))
+        else:  # HALT / TRAP: keep the per-instruction payload
+            plan.append((kind, base[first][1], base[first][2]))
+    return plan
+
+
+_CACHE = PlanCache("_fused_plan", build_fused_plan)
+
+
+def fused_plan_for(program: isa.Program) -> list[tuple]:
+    """Build (or fetch the cached) fused plan for ``program``."""
+    return _CACHE.lookup(program)
+
+
+class FusedBackend(Backend):
+    """Superinstruction dispatch: one closure call per straight-line block."""
+
+    name = "fused"
+    cache_attr = _CACHE.attr
+
+    def plan(self, program):
+        return fused_plan_for(program)
+
+    def execute(self, machine, program, max_steps: int) -> None:
+        """The block-fused dispatch loop: one call per straight-line block.
+
+        Identical accounting to the interp backend — each instruction inside
+        a fused block is charged 1 time unit plus the post-execution lengths
+        of its read/written registers, summed per block in the fused
+        closure.  A block whose ``j``-th instruction raises reports the
+        totals of its first ``j - 1`` instructions through the shared
+        ``partial`` cell (the raising instruction itself is not charged,
+        matching the traced loop), so error-path totals stay bit-identical.
+        """
+        plan = fused_plan_for(program)
+        regs = machine.registers
+        n = len(plan)
+        pc = 0
+        steps = 0
+        time = 0
+        work = 0
+        partial = [0, 0]
+        try:
+            while pc < n:
+                if steps >= max_steps:
+                    raise step_budget_error(max_steps)
+                kind, payload, extra = plan[pc]
+                pc += 1
+                if kind == BLOCK:
+                    if steps + extra > max_steps:
+                        # the budget expires mid-block: drive the block
+                        # per-instruction so the run stops (and charges) at
+                        # exactly the instruction the unfused loop stops at
+                        for fn, rw in payload.steps[: max_steps - steps]:
+                            fn(regs)
+                            time += 1
+                            for r in rw:
+                                work += regs[r].size
+                        raise step_budget_error(max_steps)
+                    steps += extra
+                    try:
+                        t, w = payload(regs, partial)
+                    except BaseException:
+                        time += partial[0]
+                        work += partial[1]
+                        raise
+                    time += t
+                    work += w
+                elif kind == JUMP:
+                    steps += 1
+                    target = payload(regs)
+                    time += 1
+                    for r in extra:
+                        work += regs[r].size
+                    if target >= 0:
+                        pc = target
+                elif kind == HALT:
+                    steps += 1
+                    time += 1
+                    break
+                else:  # TRAP
+                    time += 1
+                    raise BVRAMError(payload)
+        finally:
+            machine.time = time
+            machine.work = work
+
+    def disassemble(self, program) -> str:
+        base = plan_for(program)
+        groups, _ = group_entries(program, base)
+        group_of = {}
+        for gi, (_, idxs) in enumerate(groups):
+            for j in idxs:
+                group_of[j] = gi
+        header = "".join(
+            f"# entry {gi}: {'block' if kind == BLOCK else 'control'} "
+            f"[{idxs[0]}..{idxs[-1]}]\n"
+            for gi, (kind, idxs) in enumerate(groups)
+        )
+        return header + format_listing(program, group_of)
+
+
+FUSED = register_backend(FusedBackend())

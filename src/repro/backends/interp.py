@@ -1,0 +1,252 @@
+"""The ``interp`` backend: one Python closure per instruction.
+
+This is the untraced fast path as it existed before block fusion (PR 3):
+the program is pre-compiled once into a threaded plan of per-instruction
+closures, no :class:`~repro.bvram.machine.TraceEntry` objects are allocated,
+and the ``T``/``W`` counters accumulate in locals flushed back on every
+exit.  It remains the reference implementation the other backends build on
+— the fused and vector builders both start from :func:`plan_for`'s
+``(kind, payload, rw)`` entries, and their mid-block ``max_steps`` fallback
+drives these very closures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bvram import isa
+from ..bvram.errors import BVRAMError
+from . import kernels
+from .base import (
+    HALT,
+    JUMP,
+    STEP,
+    TRAP,
+    Backend,
+    format_listing,
+    register_backend,
+    step_budget_error,
+)
+from .registry import PlanCache
+
+
+def build_plan(program: isa.Program) -> list[tuple]:
+    """Compile a program into ``(kind, payload, rw)`` tuples, one per instruction.
+
+    ``rw`` is the concatenation of the instruction's read and written
+    register indices — exactly the registers the traced loop's ``_charge``
+    sums over — so the fast loop can account work without re-deriving them
+    every step.
+    """
+    labels = program.labels
+    plan: list[tuple] = []
+    for instr in program.instructions:
+        rw = instr.registers_read() + instr.registers_written()
+        if isinstance(instr, isa.Arith):
+            dst, op, a, b = instr.dst, instr.op, instr.a, instr.b
+            fn = kernels.ARITH_KERNELS[op]  # op already validated by Arith.__post_init__
+
+            def step(regs, dst=dst, op=op, a=a, b=b, fn=fn):
+                va, vb = regs[a], regs[b]
+                if va.shape != vb.shape:
+                    raise BVRAMError(
+                        f"arith {op}: operands have different lengths {va.size} and {vb.size}"
+                    )
+                regs[dst] = fn(va, vb)
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.Move):
+            dst, src = instr.dst, instr.src
+
+            # No BVRAM instruction mutates a register's array in place (every
+            # kernel allocates its output), so the untraced move can alias
+            # instead of copying — a list rebind, not a memcpy per phi move.
+            def step(regs, dst=dst, src=src):
+                regs[dst] = regs[src]
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.Select):
+            dst, src = instr.dst, instr.src
+
+            def step(regs, dst=dst, src=src):
+                v = regs[src]
+                regs[dst] = v[v != 0]
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.FlagMerge):
+            dst, flags, a, b = instr.dst, instr.flags, instr.a, instr.b
+
+            def step(regs, dst=dst, flags=flags, a=a, b=b):
+                regs[dst] = kernels.flag_merge_vec(regs[flags], regs[a], regs[b])
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.AppendI):
+            dst, a, b = instr.dst, instr.a, instr.b
+
+            def step(regs, dst=dst, a=a, b=b):
+                regs[dst] = np.concatenate([regs[a], regs[b]])
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.UnArith):
+            dst, op, src = instr.dst, instr.op, instr.src
+
+            def step(regs, dst=dst, op=op, src=src):
+                regs[dst] = kernels.un_arith(op, regs[src])
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.LengthI):
+            dst, src = instr.dst, instr.src
+
+            def step(regs, dst=dst, src=src):
+                regs[dst] = np.array([regs[src].size], dtype=np.int64)
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.EnumerateI):
+            dst, src = instr.dst, instr.src
+
+            def step(regs, dst=dst, src=src):
+                regs[dst] = np.arange(regs[src].size, dtype=np.int64)
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.LoadEmpty):
+            dst = instr.dst
+
+            def step(regs, dst=dst):
+                regs[dst] = np.zeros(0, dtype=np.int64)
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.LoadConst):
+            if instr.value < 0:
+                raise BVRAMError("load_const: BVRAM registers hold natural numbers")
+            dst, arr = instr.dst, np.array([instr.value], dtype=np.int64)
+
+            def step(regs, dst=dst, arr=arr):
+                regs[dst] = arr.copy()
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.BmRoute):
+            dst, data, counts, bound = instr.dst, instr.data, instr.counts, instr.bound
+
+            def step(regs, dst=dst, data=data, counts=counts, bound=bound):
+                regs[dst] = kernels.bm_route_vec(regs[data], regs[counts], regs[bound])
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.SbmRoute):
+            dst, bound, counts, data, segments = (
+                instr.dst,
+                instr.bound,
+                instr.counts,
+                instr.data,
+                instr.segments,
+            )
+
+            def step(regs, dst=dst, bound=bound, counts=counts, data=data, segments=segments):
+                regs[dst] = kernels.sbm_route_vec(
+                    regs[bound], regs[counts], regs[data], regs[segments]
+                )
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.SegScan):
+            dst, op, data, segments = instr.dst, instr.op, instr.data, instr.segments
+
+            def step(regs, dst=dst, op=op, data=data, segments=segments):
+                regs[dst] = kernels.seg_scan_vec(op, regs[data], regs[segments])
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.SegReduce):
+            dst, op, data, segments = instr.dst, instr.op, instr.data, instr.segments
+
+            def step(regs, dst=dst, op=op, data=data, segments=segments):
+                regs[dst] = kernels.seg_reduce_vec(op, regs[data], regs[segments])
+
+            plan.append((STEP, step, rw))
+        elif isinstance(instr, isa.Goto):
+            target = labels[instr.label]
+
+            def step(regs, target=target):
+                return target
+
+            plan.append((JUMP, step, rw))
+        elif isinstance(instr, isa.GotoIfEmpty):
+            target, src = labels[instr.label], instr.src
+
+            def step(regs, target=target, src=src):
+                return target if regs[src].size == 0 else -1
+
+            plan.append((JUMP, step, rw))
+        elif isinstance(instr, isa.Halt):
+            plan.append((HALT, None, rw))
+        elif isinstance(instr, isa.Trap):
+            plan.append((TRAP, instr.message, rw))
+        else:
+            raise BVRAMError(f"unknown instruction {instr!r}")
+    return plan
+
+
+_CACHE = PlanCache("_fast_plan", build_plan)
+
+
+def plan_for(program: isa.Program) -> list[tuple]:
+    """Build (or fetch the cached) per-instruction plan for ``program``."""
+    return _CACHE.lookup(program)
+
+
+class InterpBackend(Backend):
+    """Per-instruction closure dispatch (the PR 3 untraced loop)."""
+
+    name = "interp"
+    cache_attr = _CACHE.attr
+
+    def plan(self, program):
+        return plan_for(program)
+
+    def execute(self, machine, program, max_steps: int) -> None:
+        """The fast dispatch loop: threaded plan, local T/W accumulators.
+
+        Accounting parity with the traced loop: a raising instruction is not
+        charged (the traced loop charges after executing), ``trap`` is
+        charged before raising, and the accumulated totals are flushed back
+        to the machine on every exit path.
+        """
+        plan = plan_for(program)
+        regs = machine.registers
+        n = len(plan)
+        pc = 0
+        steps = 0
+        time = 0
+        work = 0
+        try:
+            while pc < n:
+                if steps >= max_steps:
+                    raise step_budget_error(max_steps)
+                steps += 1
+                kind, payload, rw = plan[pc]
+                pc += 1
+                if kind == STEP:
+                    payload(regs)
+                    time += 1
+                    for r in rw:
+                        work += regs[r].size
+                elif kind == JUMP:
+                    target = payload(regs)
+                    time += 1
+                    for r in rw:
+                        work += regs[r].size
+                    if target >= 0:
+                        pc = target
+                elif kind == HALT:
+                    time += 1
+                    break
+                else:  # TRAP
+                    time += 1
+                    raise BVRAMError(payload)
+        finally:
+            machine.time = time
+            machine.work = work
+
+    def disassemble(self, program) -> str:
+        self.plan(program)  # surface build-time errors exactly like a run
+        return format_listing(program)
+
+
+INTERP = register_backend(InterpBackend())

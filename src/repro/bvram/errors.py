@@ -1,0 +1,14 @@
+"""The BVRAM trap exception, in a leaf module every layer can import.
+
+``BVRAMError`` is raised by the machine *and* by the shared vector kernels
+(:mod:`repro.backends.kernels`).  The kernels must not import
+:mod:`repro.bvram.machine` (the machine imports *them*), so the exception
+lives here, below both.  :mod:`repro.bvram` re-exports it unchanged — every
+existing ``from repro.bvram import BVRAMError`` keeps working.
+"""
+
+from __future__ import annotations
+
+
+class BVRAMError(RuntimeError):
+    """Raised when a BVRAM execution is undefined (bad lengths, div by zero, ...)."""

@@ -1,198 +1,21 @@
-"""Block fusion for the untraced fast path: superinstructions.
+"""Back-compat shim: block fusion moved to :mod:`repro.backends.fused` (PR 6).
 
-The untraced executor (:meth:`repro.bvram.machine.BVRAM._run_untraced`) pays
-one Python dispatch — plan indexing, kind test, step budget check, work loop
-— per executed instruction.  On small per-request inputs that dispatch
-dominates the NumPy kernels, which is exactly backwards for a machine whose
-whole point is amortising per-op overhead over wide vectors.
-
-This pass groups **maximal straight-line runs of non-jump instructions**
-into single *fused* step functions.  A fused block is a precomputed tuple of
-``(kernel, read/write registers)`` pairs executed by one closure call: one
-dispatch per block instead of one per instruction, with the ``T``/``W``
-totals accumulated inside the closure.
-
-Block boundaries are forced by control flow only:
-
-* any instruction that is the target of a ``goto`` / ``goto_if_empty``
-  starts a new block (execution may enter there mid-stream);
-* ``goto`` / ``goto_if_empty`` / ``halt`` / ``trap`` each stay a plan entry
-  of their own (they leave the block or the program).
-
-Accounting is **bit-identical** to the traced interpreter (pinned by
-``tests/test_optimize.py`` and the ``tests/test_batch.py`` battery): every
-instruction is charged 1 time unit plus the post-execution lengths of its
-read and written registers, sampled immediately after it executes — a later
-instruction in the same block may resize a register, so the work loop cannot
-be hoisted out.  When an instruction raises mid-block, the totals of the
-instructions before it are reported through a shared ``partial`` cell and
-the raising instruction is not charged, matching the traced loop's
-charge-after-execute discipline.
-
-Fused plans are cached on the program object next to the per-instruction
-plan, with the same identity-snapshot invalidation.
+The superinstruction pass introduced here in PR 4 is now one of the
+pluggable execution backends; the grouping pass is shared with the
+``vector`` backend's code generator.  This module keeps the historical
+import surface (``build_fused_plan``, ``fused_plan_for``, ``_make_block``)
+alive for existing callers and tests.
 """
 
 from __future__ import annotations
 
-import os
-import threading
+from ..backends.fused import (  # noqa: F401
+    build_fused_plan,
+    fused_plan_for,
+    group_entries,
+    make_block,
+)
 
-from . import isa
-from .machine import _BLOCK, _JUMP, _STEP, _plan_for
+_make_block = make_block
 
-
-def _make_block(steps: list[tuple]) -> tuple:
-    """Fuse ``(kernel, rw)`` pairs into one step closure.
-
-    The closure returns ``(time, work)`` for the whole block; if a kernel
-    raises, the totals of the completed prefix are written into ``partial``
-    before the exception propagates.
-    """
-    k = len(steps)
-    if k == 1:
-        fn, rw = steps[0]
-
-        def fused_one(regs, partial, fn=fn, rw=rw):
-            fn(regs)
-            w = 0
-            for r in rw:
-                w += regs[r].size
-            return 1, w
-
-        # a raising kernel leaves partial untouched: zero completed steps
-        fused_one.steps = (steps[0],)
-        return fused_one, 1
-
-    def fused(regs, partial, steps=tuple(steps), k=k):
-        t = 0
-        w = 0
-        try:
-            for fn, rw in steps:
-                fn(regs)
-                t += 1
-                for r in rw:
-                    w += regs[r].size
-        except BaseException:
-            partial[0] = t
-            partial[1] = w
-            raise
-        return k, w
-
-    # the executor drives the block per-instruction through this attribute
-    # when the step budget would expire mid-block (exact max_steps parity)
-    fused.steps = tuple(steps)
-    return fused, k
-
-
-def build_fused_plan(program: isa.Program) -> list[tuple]:
-    """Compile ``program`` into ``(kind, payload, extra)`` fused-plan entries.
-
-    ``_BLOCK`` entries carry ``(fused closure, instruction count)``; jump
-    entries are re-targeted from instruction indices to fused-plan indices
-    (every jump target is a block boundary by construction, so the mapping
-    is total).  Entry kinds other than ``_BLOCK`` keep the per-instruction
-    plan's payload/rw layout.
-    """
-    base = _plan_for(program)
-    code = program.instructions
-    labels = program.labels
-    targets = {
-        labels[instr.label]
-        for instr in code
-        if isinstance(instr, (isa.Goto, isa.GotoIfEmpty))
-    }
-    n = len(base)
-
-    # pass 1: group instruction indices into fused-plan entries
-    groups: list[tuple[int, list[int]]] = []  # (entry kind, covered indices)
-    i = 0
-    while i < n:
-        kind = base[i][0]
-        if kind != _STEP:
-            groups.append((kind, [i]))
-            i += 1
-            continue
-        run = [i]
-        j = i + 1
-        while j < n and base[j][0] == _STEP and j not in targets:
-            run.append(j)
-            j += 1
-        groups.append((_BLOCK, run))
-        i = j
-
-    start_to_entry = {idxs[0]: gi for gi, (_, idxs) in enumerate(groups)}
-
-    def entry_target(instr_index: int) -> int:
-        if instr_index >= n:  # label past the last instruction: fall off the end
-            return len(groups)
-        return start_to_entry[instr_index]
-
-    # pass 2: emit, re-targeting jumps to fused-plan indices
-    plan: list[tuple] = []
-    for kind, idxs in groups:
-        first = idxs[0]
-        if kind == _BLOCK:
-            steps = [(base[j][1], base[j][2]) for j in idxs]
-            plan.append((_BLOCK, *_make_block(steps)))
-        elif kind == _JUMP:
-            instr = code[first]
-            target = entry_target(labels[instr.label])
-            rw = base[first][2]
-            if isinstance(instr, isa.Goto):
-
-                def jump(regs, target=target):
-                    return target
-
-            else:  # GotoIfEmpty
-                src = instr.src
-
-                def jump(regs, target=target, src=src):
-                    return target if regs[src].size == 0 else -1
-
-            plan.append((_JUMP, jump, rw))
-        else:  # _HALT / _TRAP: keep the per-instruction payload
-            plan.append((kind, base[first][1], base[first][2]))
-    return plan
-
-
-#: Guards concurrent fused-plan builds.  Distinct from the machine module's
-#: ``_PLAN_LOCK`` so that ``build_fused_plan`` (which calls ``_plan_for``
-#: internally) acquires them in a fixed fuse -> machine order and a plain
-#: (non-reentrant) lock suffices on both sides.
-_FUSE_LOCK = threading.Lock()
-
-
-def _reinit_fuse_lock() -> None:
-    global _FUSE_LOCK
-    _FUSE_LOCK = threading.Lock()
-
-
-os.register_at_fork(after_in_child=_reinit_fuse_lock)
-
-
-def fused_plan_for(program: isa.Program) -> list[tuple]:
-    """Build (or fetch the cached) fused plan for ``program``.
-
-    Same invalidation discipline as the per-instruction plan cache: the
-    snapshot pins the exact instruction objects, and any in-place edit of
-    the instruction list fails the element-wise identity scan and rebuilds.
-    Thread-safe with the same double-checked pattern as ``_plan_for``, and
-    fork-safe (the lock is re-initialised in forked children; cached plans
-    are closures over immutable instructions and survive the fork).
-    """
-    cached = getattr(program, "_fused_plan", None)
-    code = program.instructions
-    if cached is not None:
-        snapshot, plan = cached
-        if len(snapshot) == len(code) and all(a is b for a, b in zip(snapshot, code)):
-            return plan
-    with _FUSE_LOCK:
-        cached = getattr(program, "_fused_plan", None)
-        if cached is not None:
-            snapshot, plan = cached
-            if len(snapshot) == len(code) and all(a is b for a, b in zip(snapshot, code)):
-                return plan
-        plan = build_fused_plan(program)
-        program._fused_plan = (tuple(code), plan)
-    return plan
+__all__ = ["build_fused_plan", "fused_plan_for", "group_entries", "make_block"]

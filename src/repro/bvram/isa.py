@@ -396,8 +396,25 @@ class Program:
         self.labels[name] = len(self.instructions)
 
     def validate(self) -> None:
-        """Check register indices and jump targets."""
-        for instr in self.instructions:
+        """Check register indices and jump targets.
+
+        The machine re-validates on every ``run``, which dominates
+        small-program execution — so a passing validation is memoised
+        against an identity snapshot of the instruction list plus the label
+        table and register count; any structural edit re-validates.
+        """
+        snap = getattr(self, "_validated", None)
+        instrs = self.instructions
+        # list ``==`` short-circuits on element identity, so an unchanged
+        # program is one C-level pointer scan (no Python-level loop)
+        if (
+            snap is not None
+            and snap[1] == self.n_registers
+            and snap[2] == self.labels
+            and snap[0] == instrs
+        ):
+            return
+        for instr in instrs:
             for reg in (*instr.registers_read(), *instr.registers_written()):
                 if not 0 <= reg < self.n_registers:
                     raise ValueError(
@@ -405,6 +422,7 @@ class Program:
                     )
             if isinstance(instr, (Goto, GotoIfEmpty)) and instr.label not in self.labels:
                 raise ValueError(f"jump to unknown label {instr.label!r}")
+        self._validated = (list(instrs), self.n_registers, dict(self.labels))
 
     def __len__(self) -> int:
         return len(self.instructions)

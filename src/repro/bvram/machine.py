@@ -11,35 +11,82 @@ Execution has two modes:
   per-instruction *trace* (opcode, work) so that the butterfly
   implementation (Proposition 2.1) and the Brent scheduler (Proposition 3.2)
   can replay executions step by step;
-* **untraced** (``record_trace=False``) — the fast path: the program is
-  pre-compiled once into a threaded plan of per-instruction closures
-  (cached on the program object), no :class:`TraceEntry` objects are
-  allocated, and the ``T``/``W`` counters accumulate in locals that are
-  flushed back at every exit (normal, trap, or error).  By default the plan
-  is additionally **block-fused** (:mod:`repro.bvram.fuse`): maximal
-  straight-line runs of non-jump instructions execute as one *fused* step
-  function — a single dispatch per block instead of one per instruction —
-  with ``fuse=False`` selecting the per-instruction plan.  In every mode
-  the totals are **bit-identical** to a traced run of the same program —
-  each executed instruction is charged 1 time unit plus the post-execution
-  lengths of its read and written registers — which ``tests/test_optimize.py``
+* **untraced** (``record_trace=False``) — the fast path, delegated to a
+  pluggable :mod:`repro.backends` backend: the program is pre-compiled once
+  into a plan (cached on the program object), no :class:`TraceEntry`
+  objects are allocated, and the ``T``/``W`` counters accumulate in locals
+  flushed back at every exit (normal, trap, or error).  ``backend=``
+  selects the strategy (``interp`` / ``fused`` / ``vector`` / ...);
+  ``fuse=False`` keeps its historical meaning of the per-instruction
+  ``interp`` plan.  In every mode the totals are **bit-identical** to a
+  traced run of the same program — each executed instruction is charged 1
+  time unit plus the post-execution lengths of its read and written
+  registers — which ``tests/test_optimize.py``, ``tests/test_backends.py``
   and ``tests/test_batch.py`` pin.
+
+The per-op vector kernels live in :mod:`repro.backends.kernels` (shared by
+the traced loop here and by every backend); this module re-exports them
+under their historical private names for compatibility.
 """
 
 from __future__ import annotations
 
-import os
-import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
 from . import isa
+from .errors import BVRAMError
+
+# The kernels are shared with the backends; ``repro.backends.kernels`` is a
+# leaf module (it imports only ``repro.bvram.errors``), so this import is
+# cycle-free in either package-entry order.  ``repro.backends.base`` is NOT
+# — it is mid-execution when ``import repro.backends`` reaches this module —
+# so backend resolution below is imported lazily at call time.
+from ..backends import kernels as _kernels
+
+# -- historical aliases (tests and downstream modules import these) ---------
+_INT64_LIMIT = _kernels.INT64_LIMIT
+_arith_add = _kernels.arith_add
+_arith_sub = _kernels.arith_sub
+_arith_mul = _kernels.arith_mul
+_arith_div = _kernels.arith_div
+_arith_mod = _kernels.arith_mod
+_arith_shr = _kernels.arith_shr
+_ARITH_FNS = _kernels.ARITH_KERNELS
+_arith = _kernels.arith
+_un_arith = _kernels.un_arith
+flag_merge_vec = _kernels.flag_merge_vec
+_check_segments = _kernels.check_segments
+_checked_cumsum = _kernels.checked_cumsum
+seg_scan_vec = _kernels.seg_scan_vec
+seg_reduce_vec = _kernels.seg_reduce_vec
+bm_route_vec = _kernels.bm_route_vec
+sbm_route_vec = _kernels.sbm_route_vec
+
+#: plan entry kinds — canonical home is :mod:`repro.backends.base`; the
+#: values are re-stated literally here (not imported) for the same
+#: import-order reason as above
+_STEP = 0
+_JUMP = 1
+_HALT = 2
+_TRAP = 3
+_BLOCK = 4
 
 
-class BVRAMError(RuntimeError):
-    """Raised when a BVRAM execution is undefined (bad lengths, div by zero, ...)."""
+def _build_plan(program: isa.Program) -> list[tuple]:
+    """Back-compat alias for :func:`repro.backends.interp.build_plan`."""
+    from ..backends.interp import build_plan
+
+    return build_plan(program)
+
+
+def _plan_for(program: isa.Program) -> list[tuple]:
+    """Back-compat alias for :func:`repro.backends.interp.plan_for`."""
+    from ..backends.interp import plan_for
+
+    return plan_for(program)
 
 
 @dataclass(frozen=True)
@@ -79,458 +126,6 @@ def _as_vector(values: Sequence[int] | np.ndarray) -> np.ndarray:
     if arr.size and arr.min() < 0:
         raise BVRAMError("BVRAM registers hold natural numbers")
     return arr
-
-
-_INT64_LIMIT = 2**63
-
-
-def _arith_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if a.size == 0:
-        return a + b
-    # fast path: the sum of the operand maxima fits, so no entry can wrap
-    if int(a.max()) + int(b.max()) < _INT64_LIMIT:
-        return a + b
-    with np.errstate(over="ignore"):
-        c = a + b
-    # registers hold naturals < 2**63, so a wrapped sum is exactly a
-    # negative signed result
-    if int(c.min()) < 0:
-        raise BVRAMError("overflow in +: result exceeds the int64 register width")
-    return c
-
-
-def _arith_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    return np.maximum(a - b, 0)  # monus
-
-
-def _arith_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if a.size == 0:
-        return a * b
-    # fast path: the product of the operand maxima fits, so no entry can wrap
-    if int(a.max()) * int(b.max()) < _INT64_LIMIT:
-        return a * b
-    with np.errstate(over="ignore"):
-        c = a * b
-    # widening check: a wrapped product either goes negative or fails to
-    # divide back (c = a*b - k*2**64 with k >= 1 can never reach a*b)
-    if int(c.min()) < 0 or bool(
-        np.any(c // np.where(a == 0, 1, a) != np.where(a == 0, c, b))
-    ):
-        raise BVRAMError("overflow in *: result exceeds the int64 register width")
-    return c
-
-
-def _arith_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if np.any(b == 0):
-        raise BVRAMError("division by zero")
-    return a // b
-
-
-def _arith_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if np.any(b == 0):
-        raise BVRAMError("modulo by zero")
-    return a % b
-
-
-def _arith_shr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    # numpy shifts by >= 64 bits are undefined behaviour; mathematically
-    # floor(a / 2**b) = 0 for any natural a < 2**63 once b >= 63
-    return np.where(b >= 63, 0, a >> np.minimum(b, 62))
-
-
-#: per-op kernels, shared by the traced loop, the untraced plan and ``_arith``
-_ARITH_FNS = {
-    "+": _arith_add,
-    "-": _arith_sub,
-    "*": _arith_mul,
-    "/": _arith_div,
-    "mod": _arith_mod,
-    ">>": _arith_shr,
-    "min": np.minimum,
-    "max": np.maximum,
-    "eq": lambda a, b: (a == b).astype(np.int64),
-    "le": lambda a, b: (a <= b).astype(np.int64),
-    "lt": lambda a, b: (a < b).astype(np.int64),
-}
-
-
-def _arith(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    fn = _ARITH_FNS.get(op)
-    if fn is None:
-        raise BVRAMError(f"unknown arithmetic op {op!r}")
-    if a.shape != b.shape:
-        raise BVRAMError(f"arith {op}: operands have different lengths {a.size} and {b.size}")
-    return fn(a, b)
-
-
-def _un_arith(op: str, a: np.ndarray) -> np.ndarray:
-    if op == "log2":
-        # floor(log2(a)); log2(0) = 0 by the NSC convention
-        out = np.zeros_like(a)
-        pos = a > 0
-        if pos.any():
-            out[pos] = np.floor(np.log2(a[pos])).astype(np.int64)
-            # float rounding near powers of two: fix up exactly.  A natural
-            # < 2**63 has floor(log2) <= 62, so out >= 63 (np.log2(2**63 - 1)
-            # rounds to exactly 63.0) is always one too big.
-            too_big = pos & ((out >= 63) | ((np.int64(1) << np.minimum(out, 62)) > a))
-            out[too_big] -= 1
-        return out
-    if op == "sqrt":
-        out = np.sqrt(a.astype(np.float64)).astype(np.int64)
-        # isqrt semantics: largest k with k*k <= a (fix float rounding)
-        out = np.where(out * out > a, out - 1, out)
-        out = np.where((out + 1) * (out + 1) <= a, out + 1, out)
-        return out
-    raise BVRAMError(f"unknown unary arithmetic op {op!r}")
-
-
-def flag_merge_vec(flags: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Order-preserving merge of ``a``/``b`` routed by the non-zero flags."""
-    n_true = int(np.count_nonzero(flags))
-    if a.size != n_true:
-        raise BVRAMError(
-            f"flag_merge: {n_true} non-zero flags but the true-branch register has length {a.size}"
-        )
-    if a.size + b.size != flags.size:
-        raise BVRAMError(
-            f"flag_merge: flags have length {flags.size} but the branches "
-            f"have total length {a.size + b.size}"
-        )
-    out = np.empty(flags.size, dtype=np.int64)
-    mask = flags != 0
-    out[mask] = a
-    out[~mask] = b
-    return out
-
-
-def _check_segments(data: np.ndarray, segments: np.ndarray, opcode: str) -> None:
-    if segments.size and int(segments.min()) < 0:
-        raise BVRAMError(f"{opcode}: segment descriptor holds negative lengths")
-    if int(segments.sum()) != data.size:
-        raise BVRAMError(
-            f"{opcode}: segment descriptor sums to {int(segments.sum())} "
-            f"but the data register has length {data.size}"
-        )
-
-
-def _checked_cumsum(data: np.ndarray, opcode: str) -> np.ndarray:
-    """Inclusive int64 cumsum of naturals, trapping on overflow.
-
-    Addends are < 2**63, so a wrapped partial sum shows up as a *decrease*
-    (the new value is the true one minus 2**64) — monotonicity is an exact
-    overflow test, matching the BVRAMError that ``arith +`` raises.
-    """
-    with np.errstate(over="ignore"):
-        cs = np.cumsum(data)
-    if cs.size and (int(cs[0]) < 0 or bool(np.any(cs[1:] < cs[:-1]))):
-        raise BVRAMError(f"overflow in {opcode}: partial sum exceeds the int64 register width")
-    return cs
-
-
-def seg_scan_vec(op: str, data: np.ndarray, segments: np.ndarray) -> np.ndarray:
-    """Exclusive per-segment scan (identity 0) of ``data`` under ``segments``."""
-    _check_segments(data, segments, "seg_scan")
-    if data.size == 0:
-        return np.zeros(0, dtype=np.int64)
-    if op == "+":
-        cs = _checked_cumsum(data, "seg_scan +")
-        running = np.concatenate([[0], cs[:-1]])
-        starts = np.cumsum(segments) - segments  # first data index of each segment
-        nonempty = segments > 0
-        base = np.repeat(running[starts[nonempty]], segments[nonempty])
-        return running - base
-    if op == "max":
-        # exclusive running max per segment (correct but simple; vectors are
-        # the hot path of the *simulated* machine, not of this host code)
-        out = np.zeros(data.size, dtype=np.int64)
-        pos = 0
-        for seg_len in segments.tolist():
-            if seg_len:
-                seg = data[pos : pos + seg_len]
-                if seg_len > 1:
-                    out[pos + 1 : pos + seg_len] = np.maximum.accumulate(seg[:-1])
-                pos += seg_len
-        return out
-    raise BVRAMError(f"unknown segmented op {op!r}")
-
-
-def seg_reduce_vec(op: str, data: np.ndarray, segments: np.ndarray) -> np.ndarray:
-    """Per-segment reduction of ``data`` under ``segments`` (identity 0)."""
-    _check_segments(data, segments, "seg_reduce")
-    if segments.size == 0:
-        return np.zeros(0, dtype=np.int64)
-    if op == "+":
-        if data.size == 0:
-            return np.zeros(segments.size, dtype=np.int64)
-        total = np.concatenate([[0], _checked_cumsum(data, "seg_reduce +")])
-        ends = np.cumsum(segments)
-        return (total[ends] - total[ends - segments]).astype(np.int64)
-    if op == "max":
-        out = np.zeros(segments.size, dtype=np.int64)
-        if data.size:
-            ids = np.repeat(np.arange(segments.size), segments)
-            np.maximum.at(out, ids, data)
-        return out
-    raise BVRAMError(f"unknown segmented op {op!r}")
-
-
-def bm_route_vec(data: np.ndarray, counts: np.ndarray, bound: np.ndarray) -> np.ndarray:
-    """Bounded monotone routing on vectors (the semantics of the instruction)."""
-    if data.size != counts.size:
-        raise BVRAMError("bm_route: data and counts must have the same length")
-    if int(counts.sum()) != bound.size:
-        raise BVRAMError("bm_route: counts must sum to the length of the bound register")
-    return np.repeat(data, counts)
-
-
-def sbm_route_vec(
-    bound: np.ndarray, counts: np.ndarray, data: np.ndarray, segments: np.ndarray
-) -> np.ndarray:
-    """Segmented bounded monotone routing on vectors."""
-    if counts.size != segments.size:
-        raise BVRAMError("sbm_route: counts and segment descriptor must have the same length")
-    if int(segments.sum()) != data.size:
-        raise BVRAMError("sbm_route: segment descriptor must sum to the data length")
-    out: list[np.ndarray] = []
-    pos = 0
-    for seg_len, count in zip(segments.tolist(), counts.tolist()):
-        seg = data[pos : pos + seg_len]
-        pos += seg_len
-        if count:
-            out.append(np.tile(seg, count))
-    result = np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
-    # The bound pair (bound, counts) must itself be a nested sequence, i.e.
-    # the counts describe a segmentation of the bound register.  This is the
-    # restriction that keeps a single instruction from growing the data by
-    # more than the product of two register lengths (Section 2).
-    if bound.size != int(counts.sum()):
-        raise BVRAMError(
-            f"sbm_route: bound register has length {bound.size}, expected sum(counts) = {int(counts.sum())}"
-        )
-    return result
-
-
-# ---------------------------------------------------------------------------
-# The untraced fast path: programs pre-compiled into threaded plans
-# ---------------------------------------------------------------------------
-
-#: plan entry kinds
-_STEP = 0  # plain register op: fn(regs) executes it
-_JUMP = 1  # control flow: fn(regs) returns the next pc, or -1 to fall through
-_HALT = 2
-_TRAP = 3  # payload is the trap message
-_BLOCK = 4  # fused straight-line block: fn(regs, partial) returns (time, work)
-
-
-def _build_plan(program: isa.Program) -> list[tuple]:
-    """Compile a program into ``(kind, payload, rw)`` tuples, one per instruction.
-
-    ``rw`` is the concatenation of the instruction's read and written
-    register indices — exactly the registers ``_charge`` sums over — so the
-    fast loop can account work without re-deriving them every step.
-    """
-    labels = program.labels
-    plan: list[tuple] = []
-    for instr in program.instructions:
-        rw = instr.registers_read() + instr.registers_written()
-        if isinstance(instr, isa.Arith):
-            dst, op, a, b = instr.dst, instr.op, instr.a, instr.b
-            fn = _ARITH_FNS[op]  # op already validated by Arith.__post_init__
-
-            def step(regs, dst=dst, op=op, a=a, b=b, fn=fn):
-                va, vb = regs[a], regs[b]
-                if va.shape != vb.shape:
-                    raise BVRAMError(
-                        f"arith {op}: operands have different lengths {va.size} and {vb.size}"
-                    )
-                regs[dst] = fn(va, vb)
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.Move):
-            dst, src = instr.dst, instr.src
-
-            # No BVRAM instruction mutates a register's array in place (every
-            # kernel allocates its output), so the untraced move can alias
-            # instead of copying — a list rebind, not a memcpy per phi move.
-            def step(regs, dst=dst, src=src):
-                regs[dst] = regs[src]
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.Select):
-            dst, src = instr.dst, instr.src
-
-            def step(regs, dst=dst, src=src):
-                v = regs[src]
-                regs[dst] = v[v != 0]
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.FlagMerge):
-            dst, flags, a, b = instr.dst, instr.flags, instr.a, instr.b
-
-            def step(regs, dst=dst, flags=flags, a=a, b=b):
-                regs[dst] = flag_merge_vec(regs[flags], regs[a], regs[b])
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.AppendI):
-            dst, a, b = instr.dst, instr.a, instr.b
-
-            def step(regs, dst=dst, a=a, b=b):
-                regs[dst] = np.concatenate([regs[a], regs[b]])
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.UnArith):
-            dst, op, src = instr.dst, instr.op, instr.src
-
-            def step(regs, dst=dst, op=op, src=src):
-                regs[dst] = _un_arith(op, regs[src])
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.LengthI):
-            dst, src = instr.dst, instr.src
-
-            def step(regs, dst=dst, src=src):
-                regs[dst] = np.array([regs[src].size], dtype=np.int64)
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.EnumerateI):
-            dst, src = instr.dst, instr.src
-
-            def step(regs, dst=dst, src=src):
-                regs[dst] = np.arange(regs[src].size, dtype=np.int64)
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.LoadEmpty):
-            dst = instr.dst
-
-            def step(regs, dst=dst):
-                regs[dst] = np.zeros(0, dtype=np.int64)
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.LoadConst):
-            if instr.value < 0:
-                raise BVRAMError("load_const: BVRAM registers hold natural numbers")
-            dst, arr = instr.dst, np.array([instr.value], dtype=np.int64)
-
-            def step(regs, dst=dst, arr=arr):
-                regs[dst] = arr.copy()
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.BmRoute):
-            dst, data, counts, bound = instr.dst, instr.data, instr.counts, instr.bound
-
-            def step(regs, dst=dst, data=data, counts=counts, bound=bound):
-                regs[dst] = bm_route_vec(regs[data], regs[counts], regs[bound])
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.SbmRoute):
-            dst, bound, counts, data, segments = (
-                instr.dst,
-                instr.bound,
-                instr.counts,
-                instr.data,
-                instr.segments,
-            )
-
-            def step(regs, dst=dst, bound=bound, counts=counts, data=data, segments=segments):
-                regs[dst] = sbm_route_vec(regs[bound], regs[counts], regs[data], regs[segments])
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.SegScan):
-            dst, op, data, segments = instr.dst, instr.op, instr.data, instr.segments
-
-            def step(regs, dst=dst, op=op, data=data, segments=segments):
-                regs[dst] = seg_scan_vec(op, regs[data], regs[segments])
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.SegReduce):
-            dst, op, data, segments = instr.dst, instr.op, instr.data, instr.segments
-
-            def step(regs, dst=dst, op=op, data=data, segments=segments):
-                regs[dst] = seg_reduce_vec(op, regs[data], regs[segments])
-
-            plan.append((_STEP, step, rw))
-        elif isinstance(instr, isa.Goto):
-            target = labels[instr.label]
-
-            def step(regs, target=target):
-                return target
-
-            plan.append((_JUMP, step, rw))
-        elif isinstance(instr, isa.GotoIfEmpty):
-            target, src = labels[instr.label], instr.src
-
-            def step(regs, target=target, src=src):
-                return target if regs[src].size == 0 else -1
-
-            plan.append((_JUMP, step, rw))
-        elif isinstance(instr, isa.Halt):
-            plan.append((_HALT, None, rw))
-        elif isinstance(instr, isa.Trap):
-            plan.append((_TRAP, instr.message, rw))
-        else:
-            raise BVRAMError(f"unknown instruction {instr!r}")
-    return plan
-
-
-#: Guards concurrent plan builds.  The cache write itself is a single
-#: attribute store (atomic under the GIL), but without the lock two threads
-#: hammering a cold program would both pay the full ``_build_plan`` cost;
-#: with it, one builds and the other reuses.  The lock is never held while
-#: *executing* a plan, only while building one.
-_PLAN_LOCK = threading.Lock()
-
-
-def _reinit_plan_lock() -> None:
-    """Fork handler: a child must never inherit a lock mid-acquisition.
-
-    ``os.fork`` copies the lock in whatever state the forking thread saw —
-    if another thread held it at fork time, every plan build in the child
-    would deadlock.  Re-initialising in ``after_in_child`` makes the plan
-    caches fork-safe by construction (the cached plans themselves are plain
-    closures over immutable instruction objects and stay valid in the
-    child).
-    """
-    global _PLAN_LOCK
-    _PLAN_LOCK = threading.Lock()
-
-
-os.register_at_fork(after_in_child=_reinit_plan_lock)
-
-
-def _plan_for(program: isa.Program) -> list[tuple]:
-    """Build (or fetch the cached) fast plan for ``program``.
-
-    The cache lives on the program object, with a snapshot of the exact
-    instruction objects it was built from: the snapshot keeps them alive (so
-    identity checks cannot be fooled by recycling) and any in-place edit of
-    the instruction list — append, replacement, reorder — fails the
-    element-wise identity scan and rebuilds.  The scan is a cheap ``is``
-    loop, far below the cost of executing even one vector instruction.
-
-    Thread-safe: the lock-free fast path reads one attribute (an atomic
-    tuple under the GIL); a miss takes ``_PLAN_LOCK``, re-checks, and
-    builds at most once per program generation.
-    """
-    cached = getattr(program, "_fast_plan", None)
-    code = program.instructions
-    if cached is not None:
-        snapshot, plan = cached
-        if len(snapshot) == len(code) and all(
-            a is b for a, b in zip(snapshot, code)
-        ):
-            return plan
-    with _PLAN_LOCK:
-        cached = getattr(program, "_fast_plan", None)
-        if cached is not None:
-            snapshot, plan = cached
-            if len(snapshot) == len(code) and all(
-                a is b for a, b in zip(snapshot, code)
-            ):
-                return plan
-        plan = _build_plan(program)
-        program._fast_plan = (tuple(code), plan)
-    return plan
 
 
 class BVRAM:
@@ -575,17 +170,21 @@ class BVRAM:
         max_steps: int = 10_000_000,
         record_trace: bool = True,
         fuse: bool = True,
+        backend=None,
     ) -> RunResult:
         """Execute ``program`` and return the result with T/W counters.
 
         ``record_trace=False`` selects the untraced fast path: identical
         ``T``/``W`` totals and final registers, but no per-instruction trace
         (``RunResult.trace`` comes back empty) and substantially less
-        per-step interpreter overhead.  The untraced path runs the
-        **block-fused** plan by default (one dispatch per straight-line run
-        of instructions, see :mod:`repro.bvram.fuse`); ``fuse=False`` keeps
-        the per-instruction plan — same totals, more dispatch.  ``fuse`` is
-        ignored in traced mode, which needs per-instruction entries.
+        per-step interpreter overhead.  Which untraced engine runs is a
+        :mod:`repro.backends` choice — ``backend=`` names one explicitly
+        (``"interp"``, ``"fused"``, ``"vector"``, ...), otherwise the
+        program's own ``backend`` attribute, the ``REPRO_BACKEND``
+        environment variable and finally the ``fused`` default apply, with
+        ``fuse=False`` keeping its historical meaning (the per-instruction
+        ``interp`` plan).  ``fuse`` and ``backend`` are ignored in traced
+        mode, which needs per-instruction entries.
         """
         program.validate()
         if program.n_registers > self.n_registers:
@@ -604,10 +203,10 @@ class BVRAM:
         self.work = 0
         self.trace = []
         if not record_trace:
-            if fuse:
-                self._run_fused(program, max_steps)
-            else:
-                self._run_untraced(program, max_steps)
+            from ..backends.base import resolve_backend
+
+            engine = resolve_backend(backend, program=program, fuse=fuse)
+            engine.execute(self, program, max_steps)
             return RunResult(
                 registers=[r.copy() for r in self.registers],
                 time=self.time,
@@ -733,120 +332,16 @@ class BVRAM:
         )
 
     def _run_untraced(self, program: isa.Program, max_steps: int) -> None:
-        """The fast dispatch loop: threaded plan, local T/W accumulators.
+        """Back-compat: the ``interp`` backend's dispatch loop."""
+        from ..backends.interp import INTERP
 
-        Accounting parity with the traced loop: a raising instruction is not
-        charged (the traced loop charges after executing), ``trap`` is
-        charged before raising, and the accumulated totals are flushed back
-        to the machine on every exit path.
-        """
-        plan = _plan_for(program)
-        regs = self.registers
-        n = len(plan)
-        pc = 0
-        steps = 0
-        time = 0
-        work = 0
-        try:
-            while pc < n:
-                if steps >= max_steps:
-                    raise BVRAMError(
-                        f"exceeded {max_steps} steps (non-terminating program?)"
-                    )
-                steps += 1
-                kind, payload, rw = plan[pc]
-                pc += 1
-                if kind == _STEP:
-                    payload(regs)
-                    time += 1
-                    for r in rw:
-                        work += regs[r].size
-                elif kind == _JUMP:
-                    target = payload(regs)
-                    time += 1
-                    for r in rw:
-                        work += regs[r].size
-                    if target >= 0:
-                        pc = target
-                elif kind == _HALT:
-                    time += 1
-                    break
-                else:  # _TRAP
-                    time += 1
-                    raise BVRAMError(payload)
-        finally:
-            self.time = time
-            self.work = work
+        INTERP.execute(self, program, max_steps)
 
     def _run_fused(self, program: isa.Program, max_steps: int) -> None:
-        """The block-fused dispatch loop: one call per straight-line block.
+        """Back-compat: the ``fused`` backend's dispatch loop."""
+        from ..backends.fused import FUSED
 
-        Identical accounting to :meth:`_run_untraced` — each instruction
-        inside a fused block is charged 1 time unit plus the post-execution
-        lengths of its read/written registers, summed per block in the fused
-        closure.  A block whose ``j``-th instruction raises reports the
-        totals of its first ``j - 1`` instructions through the shared
-        ``partial`` cell (the raising instruction itself is not charged,
-        matching the traced loop), so error-path totals stay bit-identical.
-        """
-        from .fuse import fused_plan_for
-
-        plan = fused_plan_for(program)
-        regs = self.registers
-        n = len(plan)
-        pc = 0
-        steps = 0
-        time = 0
-        work = 0
-        partial = [0, 0]
-        try:
-            while pc < n:
-                if steps >= max_steps:
-                    raise BVRAMError(
-                        f"exceeded {max_steps} steps (non-terminating program?)"
-                    )
-                kind, payload, extra = plan[pc]
-                pc += 1
-                if kind == _BLOCK:
-                    if steps + extra > max_steps:
-                        # the budget expires mid-block: drive the block
-                        # per-instruction so the run stops (and charges) at
-                        # exactly the instruction the unfused loop stops at
-                        for fn, rw in payload.steps[: max_steps - steps]:
-                            fn(regs)
-                            time += 1
-                            for r in rw:
-                                work += regs[r].size
-                        raise BVRAMError(
-                            f"exceeded {max_steps} steps (non-terminating program?)"
-                        )
-                    steps += extra
-                    try:
-                        t, w = payload(regs, partial)
-                    except BaseException:
-                        time += partial[0]
-                        work += partial[1]
-                        raise
-                    time += t
-                    work += w
-                elif kind == _JUMP:
-                    steps += 1
-                    target = payload(regs)
-                    time += 1
-                    for r in extra:
-                        work += regs[r].size
-                    if target >= 0:
-                        pc = target
-                elif kind == _HALT:
-                    steps += 1
-                    time += 1
-                    break
-                else:  # _TRAP
-                    time += 1
-                    raise BVRAMError(payload)
-        finally:
-            self.time = time
-            self.work = work
+        FUSED.execute(self, program, max_steps)
 
 
 def run_program(

@@ -58,6 +58,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..backends import get_backend
 from ..bvram import BVRAM, RunResult
 from ..bvram.isa import Program
 from ..nsc import ast as A
@@ -98,6 +99,13 @@ class CompiledProgram(Program):
     because flattening makes code width-independent (the paper's point).
     ``source_fn`` keeps the NSC function so :meth:`run_batch` can compile
     the batched twin of a width-1 program on first use.
+
+    ``backend`` pins the untraced execution backend for this program
+    (``"interp"`` / ``"fused"`` / ``"vector"`` / ...); ``None`` defers to
+    the ``REPRO_BACKEND`` environment variable and the ``fused`` default.
+    It is a plain string field, so — unlike the derived plans below — the
+    choice *survives pickling*: a shard worker or serving lane receiving
+    the program re-derives the plan of the selected backend.
     """
 
     dom: Optional[Type] = None
@@ -107,6 +115,7 @@ class CompiledProgram(Program):
     opt_level: int = 2
     batch_axis: bool = False
     source_fn: Optional[A.Function] = None
+    backend: Optional[str] = None
 
     #: run-time caches attached to instances after compilation; they hold
     #: closures (execution plans) and diagnostics that must not — and the
@@ -116,6 +125,8 @@ class CompiledProgram(Program):
     _CACHE_ATTRS = (
         "_fast_plan",
         "_fused_plan",
+        "_vector_plan",
+        "_vector_jit_plan",
         "_batched_twin",
         "_batch_fallback_error",
     )
@@ -161,7 +172,11 @@ class CompiledProgram(Program):
         return decode_batch(fields, self.cod, count)
 
     def run(
-        self, value: object, max_steps: int = 10_000_000, trace: bool = False
+        self,
+        value: object,
+        max_steps: int = 10_000_000,
+        trace: bool = False,
+        backend: Optional[str] = None,
     ) -> tuple[Value, RunResult]:
         """Execute on a fresh machine; returns (result S-object, T/W RunResult).
 
@@ -170,12 +185,30 @@ class CompiledProgram(Program):
         per-instruction :class:`~repro.bvram.machine.TraceEntry` list is
         built.  Pass ``trace=True`` when the result will be replayed on the
         butterfly network or Brent-scheduled (they need the trace).
+        ``backend`` overrides the untraced engine for this call (the
+        program's own ``backend`` field, then ``REPRO_BACKEND``, then
+        ``fused`` apply otherwise); it is ignored in traced mode.
         """
         machine = BVRAM(self.n_registers)
         res = machine.run(
-            self, self.encode_input(value), max_steps=max_steps, record_trace=trace
+            self,
+            self.encode_input(value),
+            max_steps=max_steps,
+            record_trace=trace,
+            backend=backend,
         )
         return self.decode_output(res.registers), res
+
+    def disassemble(self, backend: Optional[str] = None) -> str:
+        """The selected backend's plan listing / generated source for this program.
+
+        ``interp`` and ``fused`` return an annotated instruction listing;
+        ``vector`` returns the generated Python source of its mega-op block
+        functions.  Defaults to the same backend a ``run()`` would select.
+        """
+        from ..backends import resolve_backend
+
+        return resolve_backend(backend, program=self).disassemble(self)
 
     def run_batch(
         self,
@@ -184,6 +217,7 @@ class CompiledProgram(Program):
         return_exceptions: bool = False,
         executor: Optional[object] = None,
         shards: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> list[Value]:
         """Execute B independent inputs as **one** flattened machine run.
 
@@ -210,16 +244,25 @@ class CompiledProgram(Program):
                 shards=shards,
                 max_steps=max_steps,
                 return_exceptions=return_exceptions,
+                backend=backend,
             )
         from .batch import run_batch
 
         return run_batch(
-            self, values, max_steps=max_steps, return_exceptions=return_exceptions
+            self,
+            values,
+            max_steps=max_steps,
+            return_exceptions=return_exceptions,
+            backend=backend,
         )
 
 
 def compile_nsc(
-    fn: A.Function, eps: float = 0.5, opt_level: int = 2, batch_axis: bool = False
+    fn: A.Function,
+    eps: float = 0.5,
+    opt_level: int = 2,
+    batch_axis: bool = False,
+    backend: Optional[str] = None,
 ) -> CompiledProgram:
     """Compile a (typecheckable) NSC function to an executable BVRAM program.
 
@@ -249,9 +292,19 @@ def compile_nsc(
     literally one more segment level.  ``CompiledProgram.run_batch`` builds
     and caches this twin on demand; it is also a public knob for callers
     that want to hold the batched program directly.
+
+    ``backend`` pins the untraced execution backend on the program (see
+    :mod:`repro.backends`); the choice rides the program through pickling
+    to shard workers.  Unknown names are a :class:`CompileError` here, not
+    a run-time surprise.
     """
     if opt_level not in (0, 1, 2):
         raise CompileError(f"opt_level must be 0, 1 or 2, got {opt_level!r}")
+    if backend is not None:
+        try:
+            get_backend(backend)
+        except ValueError as e:
+            raise CompileError(str(e)) from None
     ft = infer_function(fn)
     block = hoist_projections(lower_function(fn, ft.dom))
     if opt_level >= 1:
@@ -297,6 +350,7 @@ def compile_nsc(
         opt_level=opt_level,
         batch_axis=batch_axis,
         source_fn=fn,
+        backend=backend,
     )
     prog.validate()
     return prog

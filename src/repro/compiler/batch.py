@@ -35,10 +35,9 @@ value.
 
 from __future__ import annotations
 
-import os
-import threading
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..backends.registry import ForkSafeLock
 from ..bvram import BVRAM, BVRAMError
 from ..nsc.values import Value, from_python
 from .nsa import CompileError
@@ -89,17 +88,10 @@ _UNSET = object()
 
 #: Guards the batched-twin cache: two threads batch-serving the same cold
 #: program must not compile the twin twice (the compile is the expensive
-#: part — milliseconds against the nanosecond cache hit).  Re-initialised in
-#: forked children so a fork taken mid-compile cannot leave the lock held.
-_TWIN_LOCK = threading.Lock()
-
-
-def _reinit_twin_lock() -> None:
-    global _TWIN_LOCK
-    _TWIN_LOCK = threading.Lock()
-
-
-os.register_at_fork(after_in_child=_reinit_twin_lock)
+#: part — milliseconds against the nanosecond cache hit).  A
+#: :class:`~repro.backends.registry.ForkSafeLock` re-initialises itself in
+#: forked children, so a fork taken mid-compile cannot leave the lock held.
+_TWIN_LOCK = ForkSafeLock()
 
 
 def batched_program(prog: "CompiledProgram") -> Optional["CompiledProgram"]:
@@ -126,11 +118,14 @@ def batched_program(prog: "CompiledProgram") -> Optional["CompiledProgram"]:
             from . import compile_nsc
 
             try:
+                # the twin inherits the backend pin, so a vector-pinned
+                # program batch-serves on the vector engine too
                 twin = compile_nsc(
                     prog.source_fn,
                     eps=prog.eps,
                     opt_level=prog.opt_level,
                     batch_axis=True,
+                    backend=prog.backend,
                 )
             except CompileError:
                 twin = None
@@ -143,6 +138,7 @@ def run_batch(
     values: Sequence[object],
     max_steps: int = 10_000_000,
     return_exceptions: bool = False,
+    backend: Optional[str] = None,
 ) -> list[Value]:
     """Run ``prog`` on every input in ``values``; see the module docstring."""
     vals = [v if isinstance(v, Value) else from_python(v) for v in values]
@@ -157,6 +153,7 @@ def run_batch(
                 twin.encode_batch_input(vals),
                 max_steps=max_steps,
                 record_trace=False,
+                backend=backend,
             )
         except BVRAMError as e:
             # Attribute the failure to an input index below.  The error is
@@ -168,7 +165,7 @@ def run_batch(
         else:
             prog._batch_fallback_error = None
             return twin.decode_batch_output(res.registers, len(vals))
-    return _run_batch_fallback(prog, vals, max_steps, return_exceptions)
+    return _run_batch_fallback(prog, vals, max_steps, return_exceptions, backend)
 
 
 def _run_batch_fallback(
@@ -176,12 +173,13 @@ def _run_batch_fallback(
     vals: Sequence[Value],
     max_steps: int,
     return_exceptions: bool,
+    backend: Optional[str] = None,
 ) -> list[Value]:
     """Per-input loop: one fresh machine per input, failures isolated."""
     out: list[Value] = []
     for i, v in enumerate(vals):
         try:
-            value, _ = prog.run(v, max_steps=max_steps)
+            value, _ = prog.run(v, max_steps=max_steps, backend=backend)
         except BVRAMError as e:
             err = BatchError.at(i, str(e))
             if not return_exceptions:

@@ -111,6 +111,7 @@ class Server:
         worker_threads: int = 1,
         max_steps: int = 10_000_000,
         max_programs: int = 64,
+        backend: Optional[str] = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -132,6 +133,10 @@ class Server:
         self.shards = shards
         self.shard_threshold = shard_threshold
         self.max_steps = max_steps
+        #: untraced backend every batch dispatches with (None: each
+        #: program's own field / the environment decide); functions compiled
+        #: by the server inherit it as their program-level pin
+        self.backend = backend
         #: soft bound on live per-program state (lanes + compile cache):
         #: above it, idle lanes are evicted LRU and the compile cache drops
         #: old entries.  Soft — lanes with queued, forming or executing
@@ -156,7 +161,7 @@ class Server:
         key = id(fn)
         entry = self._compiled.get(key)
         if entry is None or entry[0] is not fn:
-            entry = (fn, compile_nsc(fn))
+            entry = (fn, compile_nsc(fn, backend=self.backend))
             self._compiled[key] = entry
             while len(self._compiled) > self.max_programs:
                 self._compiled.popitem(last=False)  # harmless: recompiles
@@ -313,9 +318,13 @@ class Server:
                     shards=self.shards,
                     max_steps=self.max_steps,
                     return_exceptions=True,
+                    backend=self.backend,
                 )
             return prog.run_batch(
-                values, max_steps=self.max_steps, return_exceptions=True
+                values,
+                max_steps=self.max_steps,
+                return_exceptions=True,
+                backend=self.backend,
             )
 
         try:

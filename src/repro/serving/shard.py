@@ -68,7 +68,7 @@ def _worker_main(in_q, out_q) -> None:
         msg = in_q.get()
         if msg is None:
             return
-        task_id, shard_idx, key, blob, values, max_steps = msg
+        task_id, shard_idx, key, blob, values, max_steps, backend = msg
         try:
             prog = cache.get(key)
             if prog is None:
@@ -82,8 +82,10 @@ def _worker_main(in_q, out_q) -> None:
                     cache.popitem(last=False)
             else:
                 cache.move_to_end(key)
+            # an explicit per-call backend rides the message; the program's
+            # own pickled ``backend`` field applies otherwise
             results = prog.run_batch(
-                values, max_steps=max_steps, return_exceptions=True
+                values, max_steps=max_steps, return_exceptions=True, backend=backend
             )
             # results are S-objects and BatchErrors — both pickle by
             # construction (Value.__reduce__ / BatchError.__reduce__)
@@ -213,12 +215,16 @@ class ShardExecutor:
             self._programs.move_to_end(pid)
         return entry[1], entry[2]
 
-    def _send(self, worker: _Worker, task_id, shard_idx, key, blob, values, max_steps):
+    def _send(
+        self, worker: _Worker, task_id, shard_idx, key, blob, values, max_steps, backend
+    ):
         ship = None
         if key not in worker.shipped:
             ship = blob
             worker.mark_shipped(key)
-        worker.in_q.put((task_id, shard_idx, key, ship, list(values), max_steps))
+        worker.in_q.put(
+            (task_id, shard_idx, key, ship, list(values), max_steps, backend)
+        )
 
     def run_batch(
         self,
@@ -227,6 +233,7 @@ class ShardExecutor:
         shards: Optional[int] = None,
         max_steps: int = 10_000_000,
         return_exceptions: bool = False,
+        backend: Optional[str] = None,
     ) -> list:
         """Run ``prog`` over ``values`` split into ``shards`` worker spans.
 
@@ -234,6 +241,9 @@ class ShardExecutor:
         defaults to the worker count.  More shards than workers is allowed
         (spans round-robin onto workers and each worker drains its spans in
         order) — useful for tests and for bounding per-message size.
+        ``backend`` selects the untraced engine *inside the workers* for
+        this call; without it the program's own pickled ``backend`` field
+        (then the worker's environment) decides.
         """
         if self._closed:
             raise ShardExecutorClosed("ShardExecutor is closed")
@@ -255,9 +265,11 @@ class ShardExecutor:
                 worker = self._workers[shard_idx % self.n_workers]
                 chunk = values[off : off + length]
                 assignment[shard_idx] = (worker, off, chunk)
-                self._send(worker, task_id, shard_idx, key, blob, chunk, max_steps)
+                self._send(
+                    worker, task_id, shard_idx, key, blob, chunk, max_steps, backend
+                )
             per_shard = self._collect(
-                prog, task_id, key, blob, assignment, max_steps
+                prog, task_id, key, blob, assignment, max_steps, backend
             )
 
         out: list = []
@@ -274,7 +286,7 @@ class ShardExecutor:
             raise first_error
         return out
 
-    def _collect(self, prog, task_id, key, blob, assignment, max_steps) -> dict:
+    def _collect(self, prog, task_id, key, blob, assignment, max_steps, backend) -> dict:
         """Gather one result per assigned shard, surviving worker deaths."""
         done: dict[int, list] = {}
         pending = set(assignment)
@@ -295,7 +307,10 @@ class ShardExecutor:
                     worker, off, chunk = assignment[shard_idx]
                     if id(worker) in dead_ids:
                         done[shard_idx] = prog.run_batch(
-                            chunk, max_steps=max_steps, return_exceptions=True
+                            chunk,
+                            max_steps=max_steps,
+                            return_exceptions=True,
+                            backend=backend,
                         )
                         pending.discard(shard_idx)
                 for w in dead:
@@ -309,7 +324,7 @@ class ShardExecutor:
                 worker.shipped.pop(key, None)
                 self._send(
                     worker, task_id, shard_idx, key, blob,
-                    assignment[shard_idx][2], max_steps,
+                    assignment[shard_idx][2], max_steps, backend,
                 )
                 continue
             if status == _STATUS_ERROR:
@@ -320,6 +335,7 @@ class ShardExecutor:
                     assignment[shard_idx][2],
                     max_steps=max_steps,
                     return_exceptions=True,
+                    backend=backend,
                 )
                 pending.discard(shard_idx)
                 continue

@@ -75,8 +75,13 @@ def test_eight_threads_hammer_one_program():
 def test_pickle_drops_runtime_caches():
     prog = compile_nsc(_collatz_fn())
     expected = prog.run(INPUTS[0])[0]
-    prog.run_batch(BATCH)  # warm every cache: fast plan, fused plan, twin
+    # warm each backend's plan explicitly (the env default must not decide
+    # which caches exist — this test runs under every REPRO_BACKEND CI leg)
+    prog.run(INPUTS[0], backend="fused")
+    prog.run(INPUTS[0], backend="vector")
+    prog.run_batch(BATCH)  # warms the batched twin
     assert getattr(prog, "_fused_plan", None) is not None
+    assert getattr(prog, "_vector_plan", None) is not None
     assert getattr(prog, "_batched_twin", None) is not None
 
     state = prog.__getstate__()

@@ -6,7 +6,8 @@ trap-equality** against the Appendix B interpreter (the semantics of
 record):
 
 * ``compile_nsc`` at ``opt_level=0`` (naive emission, fused executor);
-* ``compile_nsc`` at ``opt_level=2`` — fused *and* unfused untraced plans;
+* ``compile_nsc`` at ``opt_level=2`` — fused, unfused *and* generated-code
+  ``vector`` backends;
 * ``run_batch`` over the whole input set (the batched twin, with
   ``return_exceptions=True`` isolation);
 * the multi-core shard path (:class:`repro.serving.ShardExecutor`, two
@@ -54,11 +55,15 @@ def _interp_outcome(fn, value):
         return TRAP
 
 
-def _compiled_outcome(prog, value, fuse=True):
+def _compiled_outcome(prog, value, fuse=True, backend=None):
     machine = BVRAM(prog.n_registers)
     try:
         res = machine.run(
-            prog, prog.encode_input(value), record_trace=False, fuse=fuse
+            prog,
+            prog.encode_input(value),
+            record_trace=False,
+            fuse=fuse,
+            backend=backend,
         )
     except BVRAMError:
         return TRAP
@@ -90,6 +95,7 @@ def _check_case(case, executor) -> list[str]:
         expect("opt0", i, _compiled_outcome(prog0, v))
         expect("opt2/fused", i, _compiled_outcome(prog2, v))
         expect("opt2/unfused", i, _compiled_outcome(prog2, v, fuse=False))
+        expect("opt2/vector", i, _compiled_outcome(prog2, v, backend="vector"))
 
     batched = prog2.run_batch(values, return_exceptions=True)
     for i, res in enumerate(batched):
