@@ -34,6 +34,7 @@ from repro.compiler.difftest import (
     run_differential,
 )
 from repro.nsc import apply_function, from_python, lib
+from repro.obs import profile_section
 from repro.pram import schedule_trace
 
 
@@ -64,6 +65,11 @@ def test_e9_interpreted_vs_compiled_throughput(benchmark):
         t_c, (result, run) = common.wall(lambda: prog.run(value))
         assert result == interp.value, name
         speedups[name] = t_i / t_c
+        extra = {}
+        if name == "quicksort_t":
+            # one per-block attribution section rides the bench record, so
+            # hot-block drift across PRs is diffable from BENCH_*.json alone
+            extra["profile"] = profile_section(prog, value)
         common.record(
             f"e9/interp_vs_compiled/{name}",
             wall_s=t_c,
@@ -71,6 +77,7 @@ def test_e9_interpreted_vs_compiled_throughput(benchmark):
             time=run.time,
             work=run.work,
             opt_level=prog.opt_level,
+            **extra,
         )
         rows.append(
             [

@@ -23,11 +23,35 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import random
 import time
+from functools import lru_cache
 from typing import Any, Callable
 
 _RECORDS: list[dict[str, Any]] = []
+
+
+@lru_cache(maxsize=1)
+def host_info() -> dict[str, Any]:
+    """The machine facts a wall-clock number is meaningless without.
+
+    Attached to every record so a BENCH_*.json line can be judged in
+    context: core count (parallel benches), interpreter version, and
+    whether numba was importable (the vector-jit tier silently degrades to
+    the plain vector backend without it).
+    """
+    try:
+        import numba  # noqa: F401
+
+        numba_version = getattr(numba, "__version__", "unknown")
+    except Exception:
+        numba_version = None
+    return {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "numba": numba_version,
+    }
 
 
 def rng(seed: int = 0) -> random.Random:
@@ -49,6 +73,7 @@ def wall(fn: Callable, *args, repeat: int = 3) -> tuple[float, Any]:
 def record(name: str, **fields: Any) -> dict[str, Any]:
     """Emit one machine-readable result record (see module docstring)."""
     rec: dict[str, Any] = {"name": name, **fields}
+    rec.setdefault("host", host_info())
     _RECORDS.append(rec)
     path = os.environ.get("BENCH_JSON")
     if path:

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Export a sample Chrome trace from one E10-style batched serving run.
+
+CI runs this after the perf sweep and uploads the resulting ``trace.json``
+as a workflow artifact, so every PR carries one inspectable waterfall of
+the full pipeline: the compile stages (``compile/nsa`` -> ``flatten`` ->
+``codegen`` -> ``optimize`` with IR sizes in the args) followed by the
+batched serving path (``batch/encode`` -> ``execute`` -> ``decode``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_trace.py --out trace.json
+
+Open the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import common
+
+from repro.compiler import compile_nsc
+from repro.compiler.difftest import _collatz_steps
+from repro.obs import Trace
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--out", default="trace.json")
+    ap.add_argument("--batch", type=int, default=64)
+    args = ap.parse_args()
+
+    r = common.rng(10)
+    requests = [[r.randrange(1, 512) for _ in range(8)] for _ in range(args.batch)]
+    with Trace() as tr:
+        prog = compile_nsc(_collatz_steps())  # compile stages land in the trace
+        results = prog.run_batch(requests)  # batch/encode|execute|decode spans
+    assert len(results) == args.batch
+    path = tr.export_chrome(args.out)
+    print(f"[export_trace] {len(tr)} events -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,10 @@ Subpackages
     Figures 1-3), quicksort, permutation routines, plus Python oracles.
 ``analysis``
     Log-log slope fitting and report tables used by the benchmark harness.
+``obs``
+    Observability: pipeline span tracing with Chrome-trace export, per-block
+    execution profiling with exact T'/W' attribution, Prometheus metrics
+    exposition, and the predicted-vs-measured kernel cost model.
 """
 
 from importlib import metadata as _metadata

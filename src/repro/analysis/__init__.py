@@ -1,5 +1,21 @@
 """Complexity-shape fitting and report formatting for the benchmark harness."""
 
-from .fit import Fit, format_table, is_bounded_ratio, log_slope, loglog_slope, ratio_trend
+from .fit import (
+    Fit,
+    format_table,
+    is_bounded_ratio,
+    linear_weights,
+    log_slope,
+    loglog_slope,
+    ratio_trend,
+)
 
-__all__ = ["Fit", "format_table", "is_bounded_ratio", "log_slope", "loglog_slope", "ratio_trend"]
+__all__ = [
+    "Fit",
+    "format_table",
+    "is_bounded_ratio",
+    "linear_weights",
+    "log_slope",
+    "loglog_slope",
+    "ratio_trend",
+]

@@ -59,6 +59,28 @@ def is_bounded_ratio(
     return last <= first * growth_tolerance + 1e-9
 
 
+def linear_weights(
+    features: Sequence[Sequence[float]], targets: Sequence[float]
+) -> tuple[list[float], float]:
+    """Least-squares weights ``w`` minimising ``||F w - y||``, plus the r2.
+
+    No intercept — the cost-model use (``wall ~ alpha*T' + beta*W'``,
+    :mod:`repro.obs.costcheck`) prices zero work at zero seconds.  Weights
+    are unconstrained: a negative weight signals collinear features rather
+    than a negative cost, and the caller decides how to treat it.
+    """
+    F = np.asarray(features, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    if F.ndim != 2 or F.shape[0] != y.shape[0] or F.shape[0] < 1:
+        raise ValueError("need one feature row per target")
+    w, *_ = np.linalg.lstsq(F, y, rcond=None)
+    pred = F @ w
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return [float(v) for v in w], r2
+
+
 def log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Least-squares slope of y against log2(x) — for O(log n) claims."""
     lx = np.log2(np.asarray(xs, dtype=float))

@@ -65,6 +65,7 @@ from ..nsc import ast as A
 from ..nsc.typecheck import infer_function
 from ..nsc.types import Type
 from ..nsc.values import Value, from_python
+from ..obs.trace import span as _span
 from .codegen import (
     Emitter,
     decode_batch,
@@ -129,6 +130,7 @@ class CompiledProgram(Program):
         "_vector_jit_plan",
         "_batched_twin",
         "_batch_fallback_error",
+        "_profile_meta",
     )
 
     def __getstate__(self):
@@ -198,6 +200,29 @@ class CompiledProgram(Program):
             backend=backend,
         )
         return self.decode_output(res.registers), res
+
+    def profile(self, value: object, max_steps: int = 10_000_000, backend: Optional[str] = None):
+        """Profile one run: per-block hits, wall time and exact T'/W' attribution.
+
+        Executes like an untraced ``run()`` (same backend selection, same
+        cached plan) through the attributing dispatch loop of
+        :mod:`repro.obs.profile` and returns a
+        :class:`~repro.obs.profile.ProfileReport` — ``report.table()`` is
+        the sorted hot-block table, each row's ``source_line`` indexes into
+        ``report.listing`` (the instruction listing ``disassemble()``
+        prints).  Per-entry ``time``/``work`` sums are bit-identical to the
+        run's machine totals, on success and on every error path; a
+        trapping input sets ``report.error`` instead of raising.  Opt-in
+        per call: plain runs never pay for the instrumentation.
+        """
+        from ..obs.profile import profile_run
+
+        report = profile_run(
+            self, self.encode_input(value), max_steps=max_steps, backend=backend
+        )
+        if report.error is None:
+            report.result = self.decode_output(report.registers)
+        return report
 
     def disassemble(self, backend: Optional[str] = None) -> str:
         """The selected backend's plan listing / generated source for this program.
@@ -305,37 +330,45 @@ def compile_nsc(
             get_backend(backend)
         except ValueError as e:
             raise CompileError(str(e)) from None
-    ft = infer_function(fn)
-    block = hoist_projections(lower_function(fn, ft.dom))
+    with _span("compile/nsa", "compile") as sp:
+        ft = infer_function(fn)
+        block = hoist_projections(lower_function(fn, ft.dom))
+        sp.note(nsa_size=block_size(block))
     if opt_level >= 1:
-        block = optimize_block(block)
+        with _span("compile/optimize", "compile") as sp:
+            block = optimize_block(block)
+            sp.note(nsa_size=block_size(block))
 
-    n_fields = field_count(ft.dom)
-    n_in = n_fields + 1 if batch_axis else n_fields
-    em = Emitter(reserved=n_in, value_number=opt_level >= 2)
-    param = rep_from_regs(ft.dom, iter(range(n_fields)))
-    if batch_axis:
-        root_tpl = n_fields  # input register: the length-B batch template
-    else:
-        root_tpl = em.load_const(0)  # the root context has width 1
-    fl = Flattener(em, eps)
-    result = fl.compile_block(block, Ctx(root_tpl), {block.params[0]: param})
+    with _span("compile/flatten", "compile") as sp:
+        n_fields = field_count(ft.dom)
+        n_in = n_fields + 1 if batch_axis else n_fields
+        em = Emitter(reserved=n_in, value_number=opt_level >= 2)
+        param = rep_from_regs(ft.dom, iter(range(n_fields)))
+        if batch_axis:
+            root_tpl = n_fields  # input register: the length-B batch template
+        else:
+            root_tpl = em.load_const(0)  # the root context has width 1
+        fl = Flattener(em, eps)
+        result = fl.compile_block(block, Ctx(root_tpl), {block.params[0]: param})
 
-    out_regs = rep_regs(result)
-    temps = [em.move(r) for r in out_regs]  # two-phase: outputs may overlap inputs
-    for i, t in enumerate(temps):
-        em.move(t, dst=i)
-    em.halt()
+        out_regs = rep_regs(result)
+        temps = [em.move(r) for r in out_regs]  # two-phase: outputs may overlap inputs
+        for i, t in enumerate(temps):
+            em.move(t, dst=i)
+        em.halt()
+        sp.note(instructions=len(em.instructions), registers=em.n_regs)
 
-    instructions, labels = em.instructions, em.labels
-    n_registers = max(em.n_regs, 1)
-    if opt_level >= 2:
-        instructions, labels = eliminate_dead_instructions(
-            instructions, labels, n_outputs=len(out_regs)
-        )
-        instructions, n_registers = reuse_registers(
-            instructions, labels, n_inputs=n_in, n_outputs=len(out_regs)
-        )
+    with _span("compile/codegen", "compile") as sp:
+        instructions, labels = em.instructions, em.labels
+        n_registers = max(em.n_regs, 1)
+        if opt_level >= 2:
+            instructions, labels = eliminate_dead_instructions(
+                instructions, labels, n_outputs=len(out_regs)
+            )
+            instructions, n_registers = reuse_registers(
+                instructions, labels, n_inputs=n_in, n_outputs=len(out_regs)
+            )
+        sp.note(instructions=len(instructions), registers=n_registers)
 
     prog = CompiledProgram(
         instructions=instructions,

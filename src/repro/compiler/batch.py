@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from ..backends.registry import ForkSafeLock
 from ..bvram import BVRAM, BVRAMError
 from ..nsc.values import Value, from_python
+from ..obs.trace import span as _span
 from .nsa import CompileError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -147,14 +148,18 @@ def run_batch(
     twin = batched_program(prog)
     if twin is not None:
         machine = BVRAM(twin.n_registers)
+        with _span("batch/encode", "serve", batch=len(vals)):
+            inputs = twin.encode_batch_input(vals)
         try:
-            res = machine.run(
-                twin,
-                twin.encode_batch_input(vals),
-                max_steps=max_steps,
-                record_trace=False,
-                backend=backend,
-            )
+            with _span("batch/execute", "serve", batch=len(vals)) as sp:
+                res = machine.run(
+                    twin,
+                    inputs,
+                    max_steps=max_steps,
+                    record_trace=False,
+                    backend=backend,
+                )
+                sp.note(time=res.time, work=res.work)
         except BVRAMError as e:
             # Attribute the failure to an input index below.  The error is
             # kept on the program so a batched run that degrades for an
@@ -164,8 +169,10 @@ def run_batch(
             prog._batch_fallback_error = e
         else:
             prog._batch_fallback_error = None
-            return twin.decode_batch_output(res.registers, len(vals))
-    return _run_batch_fallback(prog, vals, max_steps, return_exceptions, backend)
+            with _span("batch/decode", "serve", batch=len(vals)):
+                return twin.decode_batch_output(res.registers, len(vals))
+    with _span("batch/fallback", "serve", batch=len(vals)):
+        return _run_batch_fallback(prog, vals, max_steps, return_exceptions, backend)
 
 
 def _run_batch_fallback(

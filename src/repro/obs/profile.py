@@ -1,0 +1,425 @@
+"""Per-block execution profiling with exact ``T'``/``W'`` attribution.
+
+The backends report only run *totals*; this module attributes them.  A
+profiled run executes the program's **normal cached plan** (interp, fused
+or vector — the very closures/generated blocks a plain run dispatches)
+through a mirrored dispatch loop that additionally accumulates, per plan
+entry: hit count, wall time, and the exact Definition 3.1 ``T'``/``W'``
+charges.  Because the attribution accumulates *the same* per-block
+``(t, w)`` values the backend loop folds into its totals — including the
+``partial``-cell flush when a block raises mid-stream, the charged ``trap``,
+and the per-instruction ``max_steps`` mid-block fallback — the per-entry
+sums are bit-identical to the machine totals by construction, on every exit
+path.  The differential battery pins this (``tests/test_obs.py``).
+
+Profiling is opt-in per run: the plain ``run()`` path is untouched (its
+dispatch loops carry no hooks), and the profiler's own derived state — the
+block grouping and the ``disassemble()`` line map — is cached on the
+program under ``_profile_meta`` exactly like the execution plans
+(:class:`~repro.backends.registry.PlanCache`; listed in
+``CompiledProgram._CACHE_ATTRS`` so it never crosses a pickle boundary).
+
+Front door::
+
+    report = prog.profile([5, 3, 8, 1])      # CompiledProgram.profile
+    print(report.table())                    # sorted hot-block table
+    report.blocks[0].source_line             # 1-based line in report.listing
+
+``report.listing`` is the interp ``disassemble()`` text; each
+:class:`BlockStat.source_line` is the 1-based line of the entry's first
+instruction in it, so the hot-block table links straight back to the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional
+
+import numpy as np
+
+from ..backends import kernels
+from ..backends.base import (
+    BLOCK,
+    HALT,
+    JUMP,
+    STEP,
+    format_listing,
+    resolve_backend,
+    step_budget_error,
+)
+from ..backends.fused import group_entries
+from ..backends.interp import plan_for
+from ..backends.registry import PlanCache
+from ..backends.vector import VectorPlan
+from ..bvram.errors import BVRAMError
+from ..bvram.machine import BVRAM
+
+_KIND_NAMES = {STEP: "step", JUMP: "jump", HALT: "halt", BLOCK: "block", 3: "trap"}
+
+
+def listing_line_numbers(program) -> dict[int, int]:
+    """Instruction index -> 1-based line in :func:`format_listing` output.
+
+    Mirrors the listing layout exactly: label lines precede the instruction
+    they mark, so an instruction's line shifts down by the labels above it.
+    """
+    label_count: dict[int, int] = {}
+    for idx in program.labels.values():
+        label_count[idx] = label_count.get(idx, 0) + 1
+    line = 0
+    line_of: dict[int, int] = {}
+    for i in range(len(program.instructions)):
+        line += label_count.get(i, 0) + 1
+        line_of[i] = line
+    return line_of
+
+
+class ProfileMeta:
+    """Cached profiling metadata: block grouping + listing line map."""
+
+    __slots__ = ("groups", "line_of")
+
+    def __init__(self, groups, line_of) -> None:
+        self.groups = groups
+        self.line_of = line_of
+
+
+def _build_meta(program) -> ProfileMeta:
+    groups, _ = group_entries(program, plan_for(program))
+    return ProfileMeta(groups, listing_line_numbers(program))
+
+
+_META_CACHE = PlanCache("_profile_meta", _build_meta)
+
+
+def meta_for(program) -> ProfileMeta:
+    """Build (or fetch the cached) profiling metadata for ``program``."""
+    return _META_CACHE.lookup(program)
+
+
+@dataclass
+class BlockStat:
+    """One plan entry's attribution: hits, wall time and exact T'/W'."""
+
+    entry: int  #: plan-entry index (matches the fused/vector disassembly)
+    kind: str  #: "block" / "jump" / "halt" / "trap" / "step"
+    first: int  #: first covered instruction index
+    last: int  #: last covered instruction index
+    hits: int = 0
+    time: int = 0  #: exact T' charged to this entry
+    work: int = 0  #: exact W' charged to this entry
+    wall_s: float = 0.0
+    source_line: int = 0  #: 1-based line of ``first`` in the report's listing
+    code: str = ""  #: repr of the first covered instruction (truncated)
+
+    @property
+    def n_instructions(self) -> int:
+        return self.last - self.first + 1
+
+
+@dataclass
+class ProfileReport:
+    """A profiled run: per-entry stats plus the totals they sum to.
+
+    ``time``/``work`` are the machine's flushed totals; ``sum(b.time)`` and
+    ``sum(b.work)`` over ``blocks`` equal them bit-identically (checked by
+    :meth:`verify_totals`).  ``error`` carries the :class:`BVRAMError`
+    message when the run trapped (the stats then cover the executed prefix,
+    still summing exactly to the totals).
+    """
+
+    backend: str
+    blocks: list[BlockStat]
+    time: int
+    work: int
+    wall_s: float
+    listing: str
+    registers: list = field(default_factory=list)
+    error: Optional[str] = None
+    result: Optional[object] = None
+
+    def verify_totals(self) -> bool:
+        """True iff the per-entry sums reproduce the machine totals exactly."""
+        return (
+            sum(b.time for b in self.blocks) == self.time
+            and sum(b.work for b in self.blocks) == self.work
+        )
+
+    def hot_blocks(self, limit: Optional[int] = None, key: str = "wall_s") -> list[BlockStat]:
+        """Executed entries sorted hottest-first by ``key`` (wall_s/time/work/hits)."""
+        rows = sorted(
+            (b for b in self.blocks if b.hits),
+            key=lambda b: getattr(b, key),
+            reverse=True,
+        )
+        return rows if limit is None else rows[:limit]
+
+    def table(self, limit: Optional[int] = 10, key: str = "wall_s") -> str:
+        """The sorted hot-block table, one row per executed plan entry."""
+        total_wall = sum(b.wall_s for b in self.blocks) or 1.0
+        lines = [
+            f"backend={self.backend}  T'={self.time}  W'={self.work}  "
+            f"wall={self.wall_s * 1e3:.2f}ms"
+            + (f"  ERROR: {self.error}" if self.error else ""),
+            f"{'entry':>5} {'kind':<5} {'instrs':>9} {'hits':>7} {'T-prime':>9} "
+            f"{'W-prime':>11} {'wall_ms':>9} {'wall%':>6} {'line':>5}  code",
+        ]
+        for b in self.hot_blocks(limit, key):
+            span = f"{b.first}..{b.last}" if b.last != b.first else f"{b.first}"
+            lines.append(
+                f"{b.entry:>5} {b.kind:<5} {span:>9} {b.hits:>7} {b.time:>9} "
+                f"{b.work:>11} {b.wall_s * 1e3:>9.3f} "
+                f"{100 * b.wall_s / total_wall:>5.1f}% {b.source_line:>5}  {b.code}"
+            )
+        return "\n".join(lines)
+
+
+def _code_snippet(instr, width: int = 48) -> str:
+    text = repr(instr)
+    return text if len(text) <= width else text[: width - 3] + "..."
+
+
+def _run_grouped(machine, entries, max_steps, hits, tacc, wacc, wall, lo=None, hi=None):
+    """The fused/vector dispatch loop with per-entry attribution.
+
+    Mirrors ``FusedBackend.execute`` / ``VectorBackend.execute`` statement
+    for statement — same charge order, same ``partial`` flush, same
+    mid-block ``max_steps`` fallback — with every charge additionally
+    folded into the entry's accumulator slot.  ``lo``/``hi`` non-None
+    selects the vector block-call signature.
+    """
+    regs = machine.registers
+    n = len(entries)
+    pc = 0
+    steps = 0
+    time = 0
+    work = 0
+    partial = [0, 0]
+    vec = lo is not None
+    try:
+        while pc < n:
+            if steps >= max_steps:
+                raise step_budget_error(max_steps)
+            kind, payload, extra = entries[pc]
+            ei = pc
+            pc += 1
+            if kind == BLOCK:
+                if steps + extra > max_steps:
+                    # budget expires mid-block: drive the interp closures so
+                    # the run stops (and charges) at exactly the instruction
+                    # the unfused loop stops at — attributed to this block
+                    hits[ei] += 1
+                    t0 = perf_counter()
+                    try:
+                        for fn, rw in payload.steps[: max_steps - steps]:
+                            fn(regs)
+                            time += 1
+                            tacc[ei] += 1
+                            for r in rw:
+                                s = regs[r].size
+                                work += s
+                                wacc[ei] += s
+                    finally:
+                        wall[ei] += perf_counter() - t0
+                    raise step_budget_error(max_steps)
+                steps += extra
+                hits[ei] += 1
+                t0 = perf_counter()
+                try:
+                    if vec:
+                        t, w = payload(regs, lo, hi, partial)
+                    else:
+                        t, w = payload(regs, partial)
+                except BaseException:
+                    wall[ei] += perf_counter() - t0
+                    time += partial[0]
+                    work += partial[1]
+                    tacc[ei] += partial[0]
+                    wacc[ei] += partial[1]
+                    raise
+                wall[ei] += perf_counter() - t0
+                time += t
+                work += w
+                tacc[ei] += t
+                wacc[ei] += w
+            elif kind == JUMP:
+                steps += 1
+                hits[ei] += 1
+                t0 = perf_counter()
+                target = payload(regs)
+                time += 1
+                tacc[ei] += 1
+                for r in extra:
+                    s = regs[r].size
+                    work += s
+                    wacc[ei] += s
+                wall[ei] += perf_counter() - t0
+                if target >= 0:
+                    pc = target
+            elif kind == HALT:
+                steps += 1
+                hits[ei] += 1
+                time += 1
+                tacc[ei] += 1
+                break
+            else:  # TRAP: charged before raising, like every backend
+                hits[ei] += 1
+                time += 1
+                tacc[ei] += 1
+                raise BVRAMError(payload)
+    finally:
+        machine.time = time
+        machine.work = work
+
+
+def _run_flat(machine, plan, max_steps, hits, tacc, wacc, wall):
+    """The interp dispatch loop with per-instruction attribution."""
+    regs = machine.registers
+    n = len(plan)
+    pc = 0
+    steps = 0
+    time = 0
+    work = 0
+    try:
+        while pc < n:
+            if steps >= max_steps:
+                raise step_budget_error(max_steps)
+            steps += 1
+            kind, payload, rw = plan[pc]
+            ei = pc
+            pc += 1
+            if kind == STEP:
+                hits[ei] += 1
+                t0 = perf_counter()
+                payload(regs)
+                time += 1
+                tacc[ei] += 1
+                for r in rw:
+                    s = regs[r].size
+                    work += s
+                    wacc[ei] += s
+                wall[ei] += perf_counter() - t0
+            elif kind == JUMP:
+                hits[ei] += 1
+                t0 = perf_counter()
+                target = payload(regs)
+                time += 1
+                tacc[ei] += 1
+                for r in rw:
+                    s = regs[r].size
+                    work += s
+                    wacc[ei] += s
+                wall[ei] += perf_counter() - t0
+                if target >= 0:
+                    pc = target
+            elif kind == HALT:
+                hits[ei] += 1
+                time += 1
+                tacc[ei] += 1
+                break
+            else:  # TRAP
+                hits[ei] += 1
+                time += 1
+                tacc[ei] += 1
+                raise BVRAMError(payload)
+    finally:
+        machine.time = time
+        machine.work = work
+
+
+def profile_run(program, inputs, max_steps: int = 10_000_000, backend=None) -> ProfileReport:
+    """Profile one run of ``program`` on a pre-marshalled input-register image.
+
+    Selects the backend like an untraced ``run()`` (explicit argument, then
+    the program's pin, ``REPRO_BACKEND``, the ``fused`` default) and drives
+    its normal cached plan through the attributing loop.  A trapping run
+    returns a report with ``error`` set and exact prefix totals instead of
+    raising; non-BVRAM exceptions propagate.
+    """
+    engine = resolve_backend(backend, program=program)
+    program.validate()
+    machine = BVRAM(program.n_registers)
+    if len(inputs) != program.n_inputs:
+        raise BVRAMError(
+            f"program expects {program.n_inputs} inputs, got {len(inputs)}"
+        )
+    for i, values in enumerate(inputs):
+        machine.load(i, values)
+
+    plan = engine.plan(program)
+    meta = meta_for(program)
+    if isinstance(plan, VectorPlan):
+        entries = plan.entries
+        groups = meta.groups
+        runner = "grouped-vec"
+    elif engine.name == "fused":
+        entries = plan
+        groups = meta.groups
+        runner = "grouped"
+    elif engine.name == "interp":
+        entries = plan
+        groups = [(kind, [i]) for i, (kind, _, _) in enumerate(plan)]
+        runner = "flat"
+    else:
+        raise ValueError(
+            f"profiling is not supported for backend {engine.name!r} "
+            "(supported: interp, fused, vector, vector-jit)"
+        )
+
+    n = len(entries)
+    hits = [0] * n
+    tacc = [0] * n
+    wacc = [0] * n
+    wall = [0.0] * n
+    error: Optional[str] = None
+    t_run = perf_counter()
+    try:
+        if runner == "grouped-vec":
+            # seed interval bounds exactly like VectorBackend.execute
+            regs = machine.registers
+            lo = [0] * len(regs)
+            hi = [kernels.INT64_LIMIT - 1] * len(regs)
+            for i in plan.binit:
+                r = regs[i]
+                if r.size:
+                    lo[i] = int(r.min())
+                    hi[i] = int(r.max())
+                else:
+                    hi[i] = 0
+            _run_grouped(machine, entries, max_steps, hits, tacc, wacc, wall, lo, hi)
+        elif runner == "grouped":
+            _run_grouped(machine, entries, max_steps, hits, tacc, wacc, wall)
+        else:
+            _run_flat(machine, entries, max_steps, hits, tacc, wacc, wall)
+    except BVRAMError as e:
+        error = str(e)
+    wall_total = perf_counter() - t_run
+
+    line_of = meta.line_of
+    code = program.instructions
+    blocks = [
+        BlockStat(
+            entry=ei,
+            kind=_KIND_NAMES[kind],
+            first=idxs[0],
+            last=idxs[-1],
+            hits=hits[ei],
+            time=tacc[ei],
+            work=wacc[ei],
+            wall_s=wall[ei],
+            source_line=line_of[idxs[0]],
+            code=_code_snippet(code[idxs[0]]),
+        )
+        for ei, (kind, idxs) in enumerate(groups)
+    ]
+    return ProfileReport(
+        backend=engine.name,
+        blocks=blocks,
+        time=machine.time,
+        work=machine.work,
+        wall_s=wall_total,
+        listing=format_listing(program),
+        registers=[np.asarray(r).copy() for r in machine.registers],
+        error=error,
+    )

@@ -1,0 +1,251 @@
+"""A lightweight span tracer with Chrome-trace-format export.
+
+Pipeline tracing answers "*where does the time go*" across the system's
+layers: the compile pipeline (``nsa`` -> ``flatten`` -> ``codegen`` ->
+``optimize`` stage timings, IR sizes, register counts) and the serving path
+(enqueue -> batch-form -> execute -> decode per request) both carry span
+call sites; this module is the recorder behind them.
+
+Design constraints, in order:
+
+* **near-zero cost when disabled.**  Tracing is off unless a
+  :class:`Trace` is *activated* (``with Trace() as tr: ...``).  Every call
+  site goes through :func:`span` / :func:`instant`, whose disabled path is
+  one ``contextvars.ContextVar.get`` plus an ``is None`` test, returning a
+  shared no-op context manager — no allocation, no clock read.  The tier-1
+  overhead gate (``tests/test_obs.py``) pins this.
+* **contextvar scoping.**  The active trace propagates the way ``asyncio``
+  tasks and threads inherit context: activating a trace around an event
+  loop traces every request the loop serves, while an unrelated thread
+  stays untraced.  Nesting activations is allowed; the innermost wins.
+* **thread safety.**  The serving path records from the event-loop thread
+  and from executor threads concurrently; event appends take the trace's
+  lock (a handful of spans per *batch*, so the lock is cold).
+
+Export is the Chrome trace-event JSON format::
+
+    with Trace() as tr:
+        prog = compile_nsc(fn)
+        prog.run(value)
+    tr.export_chrome("trace.json")
+
+Load ``trace.json`` in ``chrome://tracing`` or https://ui.perfetto.dev to
+see the stage waterfall.  Durations are "complete" (``ph: "X"``) events
+with microsecond timestamps relative to the activation instant.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+_ACTIVE: contextvars.ContextVar[Optional["Trace"]] = contextvars.ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def current() -> Optional["Trace"]:
+    """The trace activated in this context, or ``None`` (tracing disabled)."""
+    return _ACTIVE.get()
+
+
+class _NullSpan:
+    """The shared disabled-path span: a no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def note(self, **args) -> None:
+        """Accept (and drop) span arguments — same surface as :class:`_Span`."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One open span of an active trace; ``note()`` attaches args at any point."""
+
+    __slots__ = ("_trace", "name", "cat", "args", "_t0")
+
+    def __init__(self, trace: "Trace", name: str, cat: str, args: dict) -> None:
+        self._trace = trace
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args["error"] = repr(exc)
+        self._trace.add_complete(
+            self.name, self._t0, time.perf_counter() - self._t0, self.cat, self.args
+        )
+
+    def note(self, **args) -> None:
+        """Attach result facts (IR sizes, batch sizes, ...) to the span."""
+        self.args.update(args)
+
+
+class Trace:
+    """An in-memory trace: activation scope, span recording, Chrome export.
+
+    Entering the trace activates it for the current context (and every task
+    or thread that inherits the context afterwards); exiting restores the
+    previous activation.  A :class:`Trace` may also be passed around and
+    recorded into explicitly (the server accepts ``tracer=``) without being
+    the ambient one.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._token: Optional[contextvars.Token] = None
+
+    # -- activation ----------------------------------------------------------
+
+    def __enter__(self) -> "Trace":
+        self._t0 = time.perf_counter()
+        self._token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, cat: str = "repro", **args) -> _Span:
+        """An open span; use as ``with tr.span("compile/flatten") as sp:``."""
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "repro", **args) -> None:
+        """A zero-duration marker event (``ph: "i"``)."""
+        ts = (time.perf_counter() - self._t0) * 1e6
+        with self._lock:
+            self._events.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "i",
+                    "ts": ts,
+                    "s": "t",
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
+                    "args": args,
+                }
+            )
+
+    def add_complete(
+        self, name: str, t_start: float, dur_s: float, cat: str = "repro", args: Optional[dict] = None
+    ) -> None:
+        """Record an externally-timed span (``t_start`` in ``perf_counter`` time).
+
+        The serving path uses this for per-request events: the submit
+        timestamp is captured when the request enqueues, the event is
+        recorded once when its future resolves — no span object has to ride
+        through the queue.
+        """
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": (t_start - self._t0) * 1e6,
+            "dur": dur_s * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": args or {},
+        }
+        with self._lock:
+            self._events.append(event)
+
+    # -- export --------------------------------------------------------------
+
+    def events(self) -> list[dict]:
+        """A snapshot of the recorded events (Chrome trace-event dicts)."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def export_chrome(self, path: str) -> str:
+        """Write the trace as Chrome trace-event JSON; returns ``path``.
+
+        Open in ``chrome://tracing`` (or https://ui.perfetto.dev): each
+        span is a bar on its thread's track, stage args show in the detail
+        pane.
+        """
+        payload = {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.trace"},
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return path
+
+
+class _Activation:
+    """Ambient activation of an existing trace without rebasing its clock."""
+
+    __slots__ = ("_tr", "_token")
+
+    def __init__(self, tr: Optional[Trace]) -> None:
+        self._tr = tr
+        self._token = None
+
+    def __enter__(self) -> Optional[Trace]:
+        if self._tr is not None:
+            self._token = _ACTIVE.set(self._tr)
+        return self._tr
+
+    def __exit__(self, *exc) -> None:
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+
+
+def activate(tr: Optional[Trace]) -> _Activation:
+    """Make ``tr`` the ambient trace for a scope (no-op when ``tr`` is None).
+
+    Unlike entering the :class:`Trace` itself, this does not reset the
+    trace's time origin — it only publishes an already-running trace to a
+    context that didn't inherit it.  The server uses it to carry its
+    ``tracer=`` into ``run_in_executor`` threads, which do not inherit the
+    submitting task's contextvars.
+    """
+    return _Activation(tr)
+
+
+def span(name: str, cat: str = "repro", **args):
+    """A span on the ambient trace — the instrumentation call sites' entry.
+
+    Disabled path: one contextvar read and an ``is None`` test, then the
+    shared :data:`NULL_SPAN` (no allocation, no clock read).
+    """
+    tr = _ACTIVE.get()
+    if tr is None:
+        return NULL_SPAN
+    return tr.span(name, cat, **args)
+
+
+def instant(name: str, cat: str = "repro", **args) -> None:
+    """An instant event on the ambient trace (no-op when tracing is off)."""
+    tr = _ACTIVE.get()
+    if tr is not None:
+        tr.instant(name, cat, **args)

@@ -19,9 +19,16 @@ from typing import Optional
 class ServerMetrics:
     """Counters, batch-size histogram and latency percentiles for a server."""
 
-    def __init__(self, window: int = 8192, clock=time.perf_counter) -> None:
+    def __init__(
+        self,
+        window: int = 8192,
+        clock=time.perf_counter,
+        rate_window_s: float = 30.0,
+    ) -> None:
         self._clock = clock
         self.started_at = clock()
+        #: trailing window requests_per_sec() is computed over (seconds)
+        self.rate_window_s = rate_window_s
         #: requests accepted into a queue
         self.submitted = 0
         #: requests completed with a value
@@ -37,6 +44,9 @@ class ServerMetrics:
         #: batch size -> number of batches of that size
         self.batch_sizes: Counter[int] = Counter()
         self._latencies: deque[float] = deque(maxlen=window)
+        #: completion timestamps inside the trailing rate window (evicted on
+        #: both record and read, so the deque holds at most one window)
+        self._completions: deque[float] = deque()
 
     # -- recording (called by the scheduler) --------------------------------
 
@@ -50,6 +60,14 @@ class ServerMetrics:
         else:
             self.failed += 1
         self._latencies.append(latency_s)
+        now = self._clock()
+        self._completions.append(now)
+        self._evict_completions(now)
+
+    def _evict_completions(self, now: float) -> None:
+        cutoff = now - self.rate_window_s
+        while self._completions and self._completions[0] < cutoff:
+            self._completions.popleft()
 
     # -- derived views -------------------------------------------------------
 
@@ -80,6 +98,20 @@ class ServerMetrics:
         return (self.completed + self.failed) / self.batches if self.batches else 0.0
 
     def requests_per_sec(self) -> float:
+        """Finished requests (values + traps) per second, over the trailing window.
+
+        Windowed like the latency reservoir, and for the same reason: the
+        lifetime average dilutes toward zero after any idle period, so it
+        says nothing about the *current* rate.  The divisor is capped at the
+        server's actual age, so a young server isn't under-reported.  The
+        lifetime figure survives as :meth:`lifetime_requests_per_sec`.
+        """
+        now = self._clock()
+        self._evict_completions(now)
+        elapsed = min(self.rate_window_s, now - self.started_at)
+        return len(self._completions) / elapsed if elapsed > 0 else 0.0
+
+    def lifetime_requests_per_sec(self) -> float:
         """Finished requests (values + traps) per second of server lifetime."""
         elapsed = self._clock() - self.started_at
         return (self.completed + self.failed) / elapsed if elapsed > 0 else 0.0
@@ -98,6 +130,7 @@ class ServerMetrics:
             "p50_latency_s": self.p50_latency_s,
             "p99_latency_s": self.p99_latency_s,
             "requests_per_sec": round(self.requests_per_sec(), 1),
+            "lifetime_requests_per_sec": round(self.lifetime_requests_per_sec(), 1),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,6 +33,7 @@ Quickstart::
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -40,6 +41,9 @@ from typing import Optional, Union
 
 from ..compiler import CompiledProgram, compile_nsc
 from ..nsc import ast as A
+from ..obs.export import render_prometheus, render_shard_prometheus
+from ..obs.trace import Trace, activate
+from ..obs.trace import current as current_trace
 from .metrics import ServerMetrics
 from .shard import ShardExecutor
 
@@ -112,6 +116,7 @@ class Server:
         max_steps: int = 10_000_000,
         max_programs: int = 64,
         backend: Optional[str] = None,
+        tracer: Optional[Trace] = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -144,6 +149,12 @@ class Server:
         #: concurrently-active programs grows past the bound rather than
         #: failing requests.
         self.max_programs = max_programs
+        #: explicit span tracer for the serving path (``repro.obs.trace``).
+        #: ``None`` falls back to the ambient trace active when a batch
+        #: dispatches; an explicit tracer is more robust because drainer
+        #: tasks and executor threads do not reliably inherit the
+        #: submitter's contextvars.
+        self.tracer = tracer
         self.metrics = ServerMetrics()
         self._lanes: OrderedDict[int, _Lane] = OrderedDict()
         self._pool = ThreadPoolExecutor(
@@ -240,6 +251,10 @@ class Server:
             lane.queue.put_nowait((value, fut, time.perf_counter()))
         except asyncio.QueueFull:
             self.metrics.rejected += 1
+            # refresh the gauge on the reject path too: the failed put
+            # changed nothing, but the last published value may predate
+            # batches that have since drained
+            self.metrics.queue_depth = self._depth()
             raise ServerOverloaded(
                 f"queue full ({self.max_queue} requests waiting for this program)"
             ) from None
@@ -303,11 +318,29 @@ class Server:
                     fut.set_exception(err)
             raise
 
+    def _trace(self) -> Optional[Trace]:
+        return self.tracer if self.tracer is not None else current_trace()
+
     async def _execute(self, lane: _Lane, batch: list) -> None:
         values = [value for value, _, _ in batch]
         prog = lane.prog
+        tracer = self._trace()
+        t_dispatch = time.perf_counter()
+        if tracer is not None:
+            # enqueue -> batch-form wait, one event per co-batched request
+            for _, _, t_submit in batch:
+                tracer.add_complete(
+                    "serve/queued", t_submit, t_dispatch - t_submit, "serve"
+                )
 
         def work():
+            # executor threads do not inherit the loop task's contextvars;
+            # re-activate the tracer so batch/encode-execute-decode spans
+            # (repro.compiler.batch) land in the same trace
+            with activate(tracer):
+                return _run()
+
+        def _run():
             if (
                 self.executor is not None
                 and len(values) >= self.shard_threshold
@@ -350,6 +383,11 @@ class Server:
             return
         now = time.perf_counter()
         self.metrics.observe_batch(len(batch))
+        if tracer is not None:
+            tracer.add_complete(
+                "serve/batch", t_dispatch, now - t_dispatch, "serve",
+                {"batch": len(batch)},
+            )
         for (_, fut, t_submit), res in zip(batch, results):
             ok = not isinstance(res, BaseException)
             if not fut.done():  # the caller may have been cancelled
@@ -358,6 +396,38 @@ class Server:
                 else:
                     fut.set_exception(res)
             self.metrics.observe_request(now - t_submit, ok=ok)
+            if tracer is not None:
+                tracer.add_complete(
+                    "serve/request", t_submit, now - t_submit, "serve", {"ok": ok}
+                )
+
+    # -- observability --------------------------------------------------------
+
+    async def metrics_endpoint(self, format: str = "json") -> tuple[str, str]:
+        """One metrics scrape: returns ``(content_type, body)``.
+
+        ``format="json"`` serves the :meth:`ServerMetrics.snapshot` dict
+        (plus the shard executor's per-worker/aggregate snapshot when one is
+        attached) as a JSON document; ``format="prometheus"`` (or
+        ``"text"``) serves the text exposition format, ready to mount
+        behind any HTTP framework's ``/metrics`` route::
+
+            content_type, body = await server.metrics_endpoint("prometheus")
+        """
+        snap = self.metrics.snapshot()
+        shard = (
+            self.executor.metrics_snapshot() if self.executor is not None else None
+        )
+        if format in ("prometheus", "text"):
+            body = render_prometheus(snap)
+            if shard is not None:
+                body += render_shard_prometheus(shard)
+            return "text/plain; version=0.0.4; charset=utf-8", body
+        if format != "json":
+            raise ValueError(f"unknown metrics format {format!r} (json/prometheus)")
+        if shard is not None:
+            snap["shard_executor"] = shard
+        return "application/json", json.dumps(snap, sort_keys=True)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -393,6 +463,10 @@ class Server:
                     break
                 if not fut.done():
                     fut.set_exception(err)
+        # the drain above emptied every queue without going through the
+        # normal dispatch path; republish the gauge so it provably reads 0
+        # after close() instead of freezing at its pre-close value
+        self.metrics.queue_depth = self._depth()
         self._pool.shutdown(wait=True)
 
     async def __aenter__(self) -> "Server":

@@ -37,6 +37,7 @@ import os
 import pickle
 import queue as queue_mod
 import threading
+import time
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -104,12 +105,25 @@ def _worker_main(in_q, out_q) -> None:
 class _Worker:
     """One persistent worker process plus the parent-side shipped-key view."""
 
-    __slots__ = ("process", "in_q", "shipped")
+    __slots__ = ("process", "in_q", "shipped", "stats")
 
     def __init__(self) -> None:
         self.shipped: OrderedDict[int, None] = OrderedDict()
         self.in_q = None  # set by ShardExecutor._spawn
         self.process = None  # set by ShardExecutor._spawn
+        #: parent-side per-worker counters (the worker wire protocol is
+        #: untouched): spans/items completed, infrastructure errors,
+        #: program re-ships, respawns after death, spans recomputed
+        #: in-parent, and busy seconds (span dispatch -> collection)
+        self.stats = {
+            "spans": 0,
+            "items": 0,
+            "errors": 0,
+            "need_prog": 0,
+            "respawns": 0,
+            "fallback_spans": 0,
+            "busy_s": 0.0,
+        }
 
     def mark_shipped(self, key: int) -> None:
         self.shipped[key] = None
@@ -196,6 +210,32 @@ class ShardExecutor:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- observability -------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Per-worker stats plus their fold into one aggregate dict.
+
+        The counters are maintained parent-side at collection time (the
+        worker wire protocol carries no metrics), so a snapshot is a plain
+        read — safe to call from another thread while a batch is in flight;
+        counters are monotone, a concurrent batch at worst under-reports.
+        ``busy_s`` measures dispatch-to-collection wall time per span;
+        spans on the same worker overlap when ``shards > n_workers``, so it
+        is an upper bound on the worker's actual busy time.
+        """
+        from ..obs.export import aggregate_worker_metrics
+
+        workers = []
+        for i, w in enumerate(self._workers):
+            d: dict = {
+                "worker": i,
+                "alive": bool(w.process is not None and w.process.is_alive()),
+            }
+            d.update(w.stats)
+            d["busy_s"] = round(d["busy_s"], 6)
+            workers.append(d)
+        return {"workers": workers, "aggregate": aggregate_worker_metrics(workers)}
+
     # -- dispatch ------------------------------------------------------------
 
     def _blob_for(self, prog) -> tuple[int, bytes]:
@@ -261,15 +301,17 @@ class ShardExecutor:
             self._task_counter += 1
             task_id = self._task_counter
             assignment = {}  # shard_idx -> (worker, offset, chunk)
+            sent_at = {}  # shard_idx -> dispatch perf_counter (worker busy_s)
             for shard_idx, (off, length) in enumerate(spans):
                 worker = self._workers[shard_idx % self.n_workers]
                 chunk = values[off : off + length]
                 assignment[shard_idx] = (worker, off, chunk)
+                sent_at[shard_idx] = time.perf_counter()
                 self._send(
                     worker, task_id, shard_idx, key, blob, chunk, max_steps, backend
                 )
             per_shard = self._collect(
-                prog, task_id, key, blob, assignment, max_steps, backend
+                prog, task_id, key, blob, assignment, sent_at, max_steps, backend
             )
 
         out: list = []
@@ -286,7 +328,9 @@ class ShardExecutor:
             raise first_error
         return out
 
-    def _collect(self, prog, task_id, key, blob, assignment, max_steps, backend) -> dict:
+    def _collect(
+        self, prog, task_id, key, blob, assignment, sent_at, max_steps, backend
+    ) -> dict:
         """Gather one result per assigned shard, surviving worker deaths."""
         done: dict[int, list] = {}
         pending = set(assignment)
@@ -313,15 +357,18 @@ class ShardExecutor:
                             backend=backend,
                         )
                         pending.discard(shard_idx)
+                        worker.stats["fallback_spans"] += 1
                 for w in dead:
+                    w.stats["respawns"] += 1
                     self._spawn(w)
                 continue
             if rid != task_id or shard_idx not in pending:
                 continue  # stale result from an abandoned task
+            worker = assignment[shard_idx][0]
             if status == _STATUS_NEED_PROG:
                 # the worker evicted this program: resend with the blob
-                worker = assignment[shard_idx][0]
                 worker.shipped.pop(key, None)
+                worker.stats["need_prog"] += 1
                 self._send(
                     worker, task_id, shard_idx, key, blob,
                     assignment[shard_idx][2], max_steps, backend,
@@ -338,7 +385,12 @@ class ShardExecutor:
                     backend=backend,
                 )
                 pending.discard(shard_idx)
+                worker.stats["errors"] += 1
+                worker.stats["fallback_spans"] += 1
                 continue
             done[shard_idx] = payload
             pending.discard(shard_idx)
+            worker.stats["spans"] += 1
+            worker.stats["items"] += len(assignment[shard_idx][2])
+            worker.stats["busy_s"] += time.perf_counter() - sent_at[shard_idx]
         return done

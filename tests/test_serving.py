@@ -12,6 +12,31 @@ from repro.nsc.types import NAT, SeqType
 from repro.serving import Server, ServerClosed, ServerOverloaded
 
 
+@pytest.fixture(autouse=True)
+def _queue_depth_gauge_drains():
+    """Every server a test closes must leave the queue_depth gauge at zero.
+
+    The gauge is refreshed on submit, dispatch, rejection and close-drain;
+    any path that forgets one of those shows up here as drift — the regression
+    this fixture pins is close()/try_submit leaving stale depth behind.
+    """
+    created: list[Server] = []
+    orig_init = Server.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        created.append(self)
+
+    Server.__init__ = tracking_init
+    try:
+        yield
+    finally:
+        Server.__init__ = orig_init
+    for srv in created:
+        if srv._closed:
+            assert srv.metrics.queue_depth == 0, "queue_depth gauge drifted"
+
+
 def _affine_fn():
     x = B.gensym("x")
     return B.map_(B.lam(x, NAT, B.mod(B.add(B.mul(B.v(x), 7), 3), 101)))
