@@ -1,0 +1,175 @@
+"""E13 — compile cache cold/warm start and SLO scheduler convergence.
+
+Three claims, matching PR 8's acceptance criteria:
+
+* **warm >= 5x cold** — compiling the full differential battery
+  (:func:`repro.compiler.difftest.suite`, every program at opt 0 and opt 2)
+  through a *populated* on-disk cache in a fresh :class:`CompileCache`
+  instance (simulating a new process: empty memo, disk only) is at least
+  **5x faster** than the cold compile that populated it;
+* **cached == fresh** — a cache-served program is value- and ``T'``/``W'``-
+  identical to a freshly compiled one across ``opt 0/2 x fused/vector`` on
+  every suite input (the cache can change *when* compiles happen, never
+  what runs);
+* **the SLO controller converges** — under an open-loop load with a
+  deliberately awful initial ``max_delay_ms``, the lane controller tightens
+  its knobs until the windowed p99 meets the target (recorded: initial and
+  final knobs, tightenings, final p99).
+"""
+
+import asyncio
+import os
+import shutil
+import tempfile
+import time
+
+import common
+
+from repro.analysis import format_table
+from repro.cache import CompileCache
+from repro.compiler import compile_nsc
+from repro.compiler.difftest import _map_affine, suite
+from repro.serving import Server, SLOConfig
+
+OPT_LEVELS = (0, 2)
+
+
+def _compile_battery(store) -> int:
+    n = 0
+    for _, fn, _ in suite():
+        for opt in OPT_LEVELS:
+            compile_nsc(fn, opt_level=opt, cache=store)
+            n += 1
+    return n
+
+
+def test_e13_warm_start_5x_faster_than_cold(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-e13-")
+    try:
+        t0 = time.perf_counter()
+        n = _compile_battery(CompileCache(cache_dir))
+        cold_s = time.perf_counter() - t0
+
+        # a fresh instance over the same directory = a new process: the
+        # memo is empty, every hit is a disk read + checksum + unpickle
+        t0 = time.perf_counter()
+        warm_store = CompileCache(cache_dir)
+        assert _compile_battery(warm_store) == n
+        warm_s = time.perf_counter() - t0
+        snap = warm_store.snapshot()
+        assert snap["misses"] == 0 and snap["hits"] == n, snap
+
+        speedup = cold_s / warm_s
+        common.record(
+            "e13/cache/warm_start",
+            programs=n,
+            cold_wall_s=round(cold_s, 4),
+            wall_s=round(warm_s, 4),
+            speedup=round(speedup, 1),
+            disk_bytes=snap["disk_bytes"],
+        )
+        print(
+            f"\nE13  compile cache: {n} programs cold {cold_s * 1e3:.0f}ms, "
+            f"warm {warm_s * 1e3:.0f}ms -> {speedup:.1f}x"
+        )
+        assert speedup >= 5.0, (
+            f"warm start must be >=5x faster than cold compile, got "
+            f"{speedup:.1f}x ({cold_s:.3f}s vs {warm_s:.3f}s)"
+        )
+        benchmark(lambda: _compile_battery(CompileCache(cache_dir)))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def test_e13_cached_identical_to_fresh(benchmark):
+    """Value and T'/W' identity across opt 0/2 x fused/vector, all suite inputs."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-e13-id-")
+    rows = []
+    try:
+        checked = 0
+        for backend in ("fused", "vector"):
+            for opt in OPT_LEVELS:
+                CompileCache(cache_dir + f"/{backend}{opt}")  # isolate per leg
+                leg_dir = cache_dir + f"/{backend}{opt}"
+                for name, fn, inputs in suite():
+                    fresh = compile_nsc(fn, opt_level=opt, backend=backend, cache=None)
+                    compile_nsc(
+                        fn, opt_level=opt, backend=backend,
+                        cache=CompileCache(leg_dir),
+                    )
+                    cached = compile_nsc(
+                        fn, opt_level=opt, backend=backend,
+                        cache=CompileCache(leg_dir),  # fresh instance: disk path
+                    )
+                    for value in inputs:
+                        v_f, r_f = fresh.run(value)
+                        v_c, r_c = cached.run(value)
+                        assert str(v_c) == str(v_f), (name, opt, backend)
+                        assert (r_c.time, r_c.work) == (r_f.time, r_f.work), (
+                            name, opt, backend,
+                        )
+                        checked += 1
+                rows.append([backend, opt, checked])
+        common.record("e13/cache/identity", runs_checked=checked)
+        print("\nE13  cached == fresh (cumulative runs checked)")
+        print(format_table(["backend", "opt", "runs ok (cum)"], rows))
+        prog_fn = _map_affine()
+        benchmark(
+            lambda: compile_nsc(prog_fn, cache=CompileCache(cache_dir + "/fused2"))
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def test_e13_slo_convergence(benchmark):
+    """The lane controller tightens an awful initial config onto the target."""
+    fn = _map_affine()
+    n_requests = 200
+    target_ms = 60.0
+
+    def run_load():
+        async def main():
+            slo = SLOConfig(target_p99_ms=target_ms, adjust_every=2, window=64)
+            async with Server(
+                max_batch=64, max_delay_ms=100.0, slo=slo, cache=None
+            ) as srv:
+                async def paced(i):
+                    await asyncio.sleep(0.002 * i)
+                    return await srv.submit(fn, [i % 97, (i * 7) % 97])
+                results = await asyncio.gather(
+                    *(paced(i) for i in range(n_requests))
+                )
+                ctrl = next(
+                    lane.ctrl for lane in srv._lanes.values()
+                    if lane.ctrl is not None
+                )
+                return results, ctrl.snapshot(), srv.metrics.snapshot()
+
+        return asyncio.run(main())
+
+    results, ctrl_snap, metrics = run_load()
+    assert len(results) == n_requests and metrics["failed"] == 0
+    final_p99_ms = 1e3 * (ctrl_snap["window_p99_s"] or 0.0)
+    common.record(
+        "e13/slo/convergence",
+        requests=n_requests,
+        target_p99_ms=target_ms,
+        initial_max_delay_ms=100.0,
+        final_max_delay_ms=ctrl_snap["max_delay_ms"],
+        final_max_batch=ctrl_snap["max_batch"],
+        tightenings=ctrl_snap["tightenings"],
+        p99_ms=round(final_p99_ms, 2),
+        wall_s=round(0.002 * n_requests, 3),
+    )
+    print(
+        f"\nE13  SLO convergence: max_delay 100ms -> "
+        f"{ctrl_snap['max_delay_ms']}ms, max_batch 64 -> "
+        f"{ctrl_snap['max_batch']}, final window p99 {final_p99_ms:.1f}ms "
+        f"(target {target_ms}ms, {ctrl_snap['tightenings']} tightenings)"
+    )
+    assert ctrl_snap["tightenings"] >= 1, ctrl_snap
+    assert final_p99_ms <= target_ms, ctrl_snap
+    if os.environ.get("BENCH_FULL"):
+        benchmark(run_load)
+    else:
+        benchmark(lambda: None)

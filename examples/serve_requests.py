@@ -1,14 +1,23 @@
 """Asyncio serving quickstart: many small requests, one micro-batching server.
 
 Run with ``PYTHONPATH=src python examples/serve_requests.py``.
+
+The server warm-starts from an on-disk compile cache: the first run of this
+script compiles the program and stores the artifact under ``.repro-cache/``;
+every later run (or any other process pointing at the same directory, e.g.
+via ``REPRO_CACHE_DIR``) loads it back instead of compiling.  An optional
+SLO config turns on the adaptive scheduler: the lane controller tunes
+``max_batch``/``max_delay_ms`` against the latency target and admission
+control keeps predicted-expensive outliers out of the shared lane.
 """
 
 import asyncio
 import random
 
+from repro.cache import CompileCache
 from repro.nsc import builder as B
 from repro.nsc.types import NAT
-from repro.serving import Server
+from repro.serving import Server, SLOConfig
 
 
 def main():
@@ -17,18 +26,33 @@ def main():
     rng = random.Random(0)
     requests = [[rng.randrange(100) for _ in range(8)] for _ in range(200)]
 
+    # Persist compiled artifacts across runs of this script.  Equivalent:
+    # leave cache= alone and set REPRO_CACHE_DIR=.repro-cache in the env.
+    cache = CompileCache(".repro-cache")
+
     async def serve():
-        # submit() compiles `affine` once, queues each request, and the
-        # scheduler packs waiting requests into single batched machine runs
-        async with Server(max_batch=64, max_delay_ms=2.0) as server:
+        # submit() resolves `affine` through the cache (second run of this
+        # script: a disk hit, no compile at all), queues each request, and
+        # the scheduler packs waiting requests into batched machine runs;
+        # the SLO controller tightens the knobs whenever p99 drifts over
+        # the 50ms target.
+        slo = SLOConfig(target_p99_ms=50.0)
+        async with Server(
+            max_batch=64, max_delay_ms=2.0, cache=cache, slo=slo
+        ) as server:
             results = await asyncio.gather(
                 *(server.submit(affine, req) for req in requests)
             )
             return results, server.metrics.snapshot()
 
     results, metrics = asyncio.run(serve())
+    cache_stats = cache.snapshot()
     print(f"first result : {results[0]}")
     print(f"metrics      : {metrics}")
+    print(
+        f"compile cache: hits={cache_stats['hits']} "
+        f"misses={cache_stats['misses']} (run me again to warm-start)"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,67 @@
+"""Fast pickling for frozen ``slots=True`` dataclass hierarchies.
+
+Frozen slotted dataclasses have no ``__dict__``, so CPython pickles them
+through ``dataclasses._dataclass_getstate`` / ``_dataclass_setstate`` —
+and both recompute ``dataclasses.fields(self)`` for *every object*.  A
+compiled program embeds tens of thousands of AST, type and instruction
+nodes, which makes that per-node ``fields()`` call the dominant cost of
+loading a cached artifact or a shard-executor blob (profiling shows it
+eating ~2/3 of a warm cache read).
+
+:class:`FastSlotPickle` replaces the generated state protocol with a plain
+slot-value tuple and an ``object.__setattr__`` loop.  The slot layout is
+resolved once per class and memoised.  Mix it into the *base* class of a
+hierarchy (``Expr``, ``Type``, ``Instruction``) and call :func:`install`
+on that base *after* all node classes are defined: the ``@dataclass``
+decorator writes ``_dataclass_getstate``/``_dataclass_setstate`` into each
+subclass's own ``__dict__`` (it only checks ``cls_dict``, not the MRO), so
+plain inheritance is not enough — the mixin's methods must be re-installed
+over the generated ones.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Tuple
+
+
+@lru_cache(maxsize=None)
+def _slot_names(cls: type) -> Tuple[str, ...]:
+    """All slot names of ``cls``, base-first, matching field declaration order."""
+    names = []
+    for klass in reversed(cls.__mro__):
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):  # a bare string means a single slot
+            slots = (slots,)
+        names.extend(slots)
+    return tuple(names)
+
+
+class FastSlotPickle:
+    """Mixin: pickle slotted instances as a tuple of slot values."""
+
+    __slots__ = ()
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return tuple(getattr(self, name) for name in _slot_names(type(self)))
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        set_ = object.__setattr__  # frozen dataclasses block plain setattr
+        for name, value in zip(_slot_names(type(self)), state):
+            set_(self, name, value)
+
+
+def install(base: type) -> None:
+    """Force the fast state methods onto every dataclass under ``base``.
+
+    Walks the (current) subclass tree; classes decorated later must be
+    covered by another ``install`` call, or they silently keep the slow —
+    but still correct — stdlib path.
+    """
+    stack = [base]
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        if "__dataclass_fields__" in cls.__dict__:
+            cls.__getstate__ = FastSlotPickle.__getstate__
+            cls.__setstate__ = FastSlotPickle.__setstate__

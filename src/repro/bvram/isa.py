@@ -48,6 +48,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from .. import _fastpickle as fastpickle
+from .._fastpickle import FastSlotPickle
+
+#: Version of the instruction set itself.  Part of the compile-cache key
+#: salt (:mod:`repro.cache.key`): any change to instruction semantics,
+#: fields or the cost model must bump this so artifacts compiled under the
+#: old ISA are treated as misses, never executed under the new one.
+ISA_VERSION = 1
+
 #: arithmetic operations available to the ``arith`` instruction (the set Sigma)
 ARITH_OPS = ("+", "-", "*", "/", "mod", ">>", "min", "max", "eq", "le", "lt")
 
@@ -58,7 +67,7 @@ UN_ARITH_OPS = ("log2", "sqrt")
 SEG_OPS = ("+", "max")
 
 
-class Instruction:
+class Instruction(FastSlotPickle):
     """Base class of BVRAM instructions."""
 
     __slots__ = ()
@@ -426,3 +435,6 @@ class Program:
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+
+fastpickle.install(Instruction)

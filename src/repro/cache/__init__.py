@@ -1,0 +1,25 @@
+"""Content-addressed compile cache for NSC -> BVRAM artifacts.
+
+:mod:`repro.cache.key` computes the content address (alpha-invariant AST
+hash + compile knobs + ISA/codegen version salt); :mod:`repro.cache.store`
+holds the artifacts (atomic writes, checksummed envelopes, LRU eviction,
+corruption quarantine, in-process memo).  ``python -m repro.cache.warmup``
+pre-populates a cache with the differential battery — the CI cold/warm leg.
+
+The cache is wired into :func:`repro.compiler.compile_nsc` via its ``cache=``
+parameter; by default it is off unless ``REPRO_CACHE_DIR`` is set.
+"""
+
+from .key import KEY_VERSION, cache_key, fingerprint
+from .store import ENV_DEFAULT, CacheError, CompileCache, default_cache, resolve_cache
+
+__all__ = [
+    "KEY_VERSION",
+    "cache_key",
+    "fingerprint",
+    "CompileCache",
+    "CacheError",
+    "ENV_DEFAULT",
+    "default_cache",
+    "resolve_cache",
+]

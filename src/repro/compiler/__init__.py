@@ -131,6 +131,7 @@ class CompiledProgram(Program):
         "_batched_twin",
         "_batch_fallback_error",
         "_profile_meta",
+        "_compile_cache",
     )
 
     def __getstate__(self):
@@ -282,12 +283,19 @@ class CompiledProgram(Program):
         )
 
 
+#: default for ``compile_nsc(cache=...)``: resolve through ``REPRO_CACHE_DIR``
+#: (see :func:`repro.cache.default_cache`); distinct from an explicit ``None``,
+#: which disables caching for the call.
+_CACHE_DEFAULT = object()
+
+
 def compile_nsc(
     fn: A.Function,
     eps: float = 0.5,
     opt_level: int = 2,
     batch_axis: bool = False,
     backend: Optional[str] = None,
+    cache: object = _CACHE_DEFAULT,
 ) -> CompiledProgram:
     """Compile a (typecheckable) NSC function to an executable BVRAM program.
 
@@ -322,6 +330,15 @@ def compile_nsc(
     :mod:`repro.backends`); the choice rides the program through pickling
     to shard workers.  Unknown names are a :class:`CompileError` here, not
     a run-time surprise.
+
+    ``cache`` selects the content-addressed compile cache (see
+    :mod:`repro.cache`): by default the ``REPRO_CACHE_DIR`` environment
+    variable decides (unset = no cache); pass a
+    :class:`~repro.cache.CompileCache` to use one explicitly, or ``None`` /
+    ``False`` to bypass caching for this call.  A hit skips every pass and
+    returns the stored program — value- and ``T'``/``W'``-identical to a
+    fresh compile, because the key covers the canonical AST, every knob
+    above, and the ISA/codegen version salt.
     """
     if opt_level not in (0, 1, 2):
         raise CompileError(f"opt_level must be 0, 1 or 2, got {opt_level!r}")
@@ -330,6 +347,30 @@ def compile_nsc(
             get_backend(backend)
         except ValueError as e:
             raise CompileError(str(e)) from None
+
+    # resolve the cache lazily: repro.cache hashes against this package's
+    # codegen version, so importing it here (post-init) avoids a cycle
+    if cache is _CACHE_DEFAULT:
+        from ..cache.store import default_cache
+
+        store = default_cache()
+    elif not cache:
+        store = None
+    else:
+        store = cache
+    if store is not None:
+        from ..cache.key import cache_key
+
+        key = cache_key(
+            fn, eps=eps, opt_level=opt_level, batch_axis=batch_axis, backend=backend
+        )
+        with _span("compile/cache", "compile") as sp:
+            hit = store.get(key)
+            sp.note(hit=int(hit is not None))
+        if hit is not None:
+            hit._compile_cache = store
+            return hit
+
     with _span("compile/nsa", "compile") as sp:
         ft = infer_function(fn)
         block = hoist_projections(lower_function(fn, ft.dom))
@@ -386,6 +427,9 @@ def compile_nsc(
         backend=backend,
     )
     prog.validate()
+    if store is not None:
+        store.put(key, prog)
+        prog._compile_cache = store
     return prog
 
 

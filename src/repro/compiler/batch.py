@@ -120,13 +120,19 @@ def batched_program(prog: "CompiledProgram") -> Optional["CompiledProgram"]:
 
             try:
                 # the twin inherits the backend pin, so a vector-pinned
-                # program batch-serves on the vector engine too
+                # program batch-serves on the vector engine too, and the
+                # compile cache (when the program came through one; an
+                # unpickled program fell back to the environment default),
+                # so a warm server never recompiles twins either
+                from . import _CACHE_DEFAULT
+
                 twin = compile_nsc(
                     prog.source_fn,
                     eps=prog.eps,
                     opt_level=prog.opt_level,
                     batch_axis=True,
                     backend=prog.backend,
+                    cache=getattr(prog, "_compile_cache", _CACHE_DEFAULT),
                 )
             except CompileError:
                 twin = None

@@ -47,6 +47,14 @@ from ..nsc.values import (
 from ..nsc.types import NatType, ProdType, SeqType, SumType, Type, UnitType
 from .nsa import CompileError
 
+#: Version of the whole NSC->BVRAM code generator (all three passes plus the
+#: optimizing pipeline).  Part of the compile-cache key salt
+#: (:mod:`repro.cache.key`): bump it whenever a pass change can alter the
+#: emitted instructions, the register layout or the marshalling convention,
+#: so stale on-disk artifacts become misses instead of silently serving
+#: old code.
+CODEGEN_VERSION = 8
+
 
 class Emitter:
     """Register allocator + label book-keeping + instruction stream.

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from .. import _fastpickle as fastpickle
+from .._fastpickle import FastSlotPickle
 from .types import Type
 
 # The arithmetic signature Sigma (Section 2/3).  ``-`` is *monus*
@@ -42,7 +44,7 @@ BINARY_OPS = ("+", "-", "*", "/", "mod", ">>", "min", "max")
 UNARY_OPS = ("log2", "sqrt")
 
 
-class Expr:
+class Expr(FastSlotPickle):
     """Common base class for terms and functions (useful for traversals)."""
 
     __slots__ = ()
@@ -507,3 +509,6 @@ def desugar(e: Expr) -> Expr:
 def count_nodes(e: Expr) -> int:
     """Number of AST nodes (used by tests and the pretty printer)."""
     return sum(1 for _ in walk(e))
+
+
+fastpickle.install(Expr)

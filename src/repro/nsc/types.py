@@ -19,8 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import _fastpickle as fastpickle
+from .._fastpickle import FastSlotPickle
 
-class Type:
+
+class Type(FastSlotPickle):
     """Base class of NSC object types (unit, N, products, sums, sequences)."""
 
     __slots__ = ()
@@ -125,7 +128,7 @@ class SeqType(Type):
 
 
 @dataclass(frozen=True, slots=True)
-class FunType:
+class FunType(FastSlotPickle):
     """The classification ``dom -> cod`` of an NSC *function*.
 
     Not a first-class type: it cannot occur inside :class:`ProdType`,
@@ -185,3 +188,7 @@ def type_depth(t: Type) -> int:
 def types_equal(a: Type, b: Type) -> bool:
     """Structural type equality (dataclass equality already does this)."""
     return a == b
+
+
+fastpickle.install(Type)
+fastpickle.install(FunType)

@@ -28,6 +28,8 @@ _COUNTERS = {
     "failed": "Requests completed with an exception (their own trap)",
     "rejected": "Requests refused by backpressure (bounded queue full)",
     "batches": "Batches executed",
+    "admission_rejected": "Requests refused by SLO admission control (predicted too expensive)",
+    "admission_isolated": "Requests routed to an isolation lane by SLO admission control",
 }
 
 #: snapshot keys that are point-in-time gauges
@@ -156,6 +158,7 @@ def render_shard_prometheus(shard_snapshot: dict, prefix: str = "repro_shard") -
         "items": "Batch items executed by the worker",
         "errors": "Worker-side infrastructure errors (span recomputed in-parent)",
         "need_prog": "Program re-ships after worker-side cache eviction",
+        "cache_warm": "Cold dispatches the worker served from the compile cache",
         "respawns": "Times the worker process was respawned after dying",
         "fallback_spans": "Spans recomputed in-parent after a worker death",
     }
@@ -175,4 +178,47 @@ def render_shard_prometheus(shard_snapshot: dict, prefix: str = "repro_shard") -
         lines.append(
             f"{name}{_labels({'worker': w.get('worker')})} {_num(w.get('busy_s', 0.0))}"
         )
+    return "\n".join(lines) + "\n"
+
+
+#: CompileCache snapshot keys that are monotone counters, with HELP text
+_CACHE_COUNTERS = {
+    "hits": "Compile-cache hits (memo + disk)",
+    "memo_hits": "Compile-cache hits served by the in-process memo",
+    "disk_hits": "Compile-cache hits served by the on-disk store",
+    "misses": "Compile-cache misses (program was compiled)",
+    "stores": "Artifacts written (or refreshed) in the compile cache",
+    "evictions": "Artifacts evicted by the LRU size bound",
+    "corrupt": "Artifacts quarantined after failing envelope validation",
+}
+
+#: CompileCache snapshot keys that are point-in-time gauges
+_CACHE_GAUGES = {
+    "memo_entries": "Programs held by the in-process memo",
+    "disk_entries": "Artifacts currently in the on-disk store",
+    "disk_bytes": "Bytes currently in the on-disk store",
+    "max_bytes": "Configured LRU size bound of the on-disk store",
+}
+
+
+def render_cache_prometheus(
+    cache_snapshot: dict, prefix: str = "repro_cache", labels: Optional[dict] = None
+) -> str:
+    """Render a :meth:`repro.cache.CompileCache.snapshot` as Prometheus text."""
+    lab = _labels(labels)
+    lines: list[str] = []
+    for key, help_text in _CACHE_COUNTERS.items():
+        if key not in cache_snapshot:
+            continue
+        name = f"{prefix}_{key}_total"
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{lab} {_num(cache_snapshot[key])}")
+    for key, help_text in _CACHE_GAUGES.items():
+        if cache_snapshot.get(key) is None:
+            continue
+        name = f"{prefix}_{key}"
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{lab} {_num(cache_snapshot[key])}")
     return "\n".join(lines) + "\n"

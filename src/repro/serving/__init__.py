@@ -19,6 +19,19 @@ PR 4) into something a traffic-facing service can sit behind:
   order-preserving, and trap indices are re-based to the global batch — the
   Brent ``O(T' + W'/p)`` work-sharing made real instead of simulated.
 
+* :class:`SLOConfig` / :class:`LaneController` (:mod:`repro.serving.slo`) —
+  the SLO layer.  Given a ``target_p99_ms``, each program lane AIMD-tunes
+  its effective ``max_batch``/``max_delay_ms`` against its live windowed
+  p99, and admission control prices every arrival with the fitted
+  ``wall ~ alpha*T' + beta*W'`` cost model (PR 7), rejecting
+  (:class:`AdmissionRejected`) or lane-isolating requests predicted to
+  blow the SLO.
+
+Both layers warm from the content-addressed compile cache
+(:mod:`repro.cache`) when one is configured: the server compiles through
+it and shard workers read artifacts from it instead of being shipped
+pickled programs.
+
 Benchmark E11 (``benchmarks/bench_e11_async_serving.py``) measures both
 levels; the differential fuzz battery (``tests/test_fuzz_differential.py``)
 pins interpreter == compiled == batched == sharded across random programs.
@@ -27,8 +40,12 @@ pins interpreter == compiled == batched == sharded across random programs.
 from .metrics import ServerMetrics
 from .scheduler import Server, ServerClosed, ServerOverloaded
 from .shard import ShardExecutor, ShardExecutorClosed
+from .slo import AdmissionRejected, LaneController, SLOConfig
 
 __all__ = [
+    "AdmissionRejected",
+    "LaneController",
+    "SLOConfig",
     "Server",
     "ServerClosed",
     "ServerMetrics",

@@ -37,6 +37,10 @@ class ServerMetrics:
         self.failed = 0
         #: requests refused by backpressure (bounded queue full)
         self.rejected = 0
+        #: requests refused by SLO admission control (predicted too expensive)
+        self.admission_rejected = 0
+        #: requests routed to an isolation lane by SLO admission control
+        self.admission_isolated = 0
         #: batches executed
         self.batches = 0
         #: current number of queued-but-not-yet-executing requests
@@ -123,6 +127,8 @@ class ServerMetrics:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "admission_rejected": self.admission_rejected,
+            "admission_isolated": self.admission_isolated,
             "batches": self.batches,
             "queue_depth": self.queue_depth,
             "batch_size_hist": dict(sorted(self.batch_sizes.items())),

@@ -39,13 +39,19 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Union
 
+from ..cache.store import ENV_DEFAULT, resolve_cache
 from ..compiler import CompiledProgram, compile_nsc
 from ..nsc import ast as A
-from ..obs.export import render_prometheus, render_shard_prometheus
+from ..obs.export import (
+    render_cache_prometheus,
+    render_prometheus,
+    render_shard_prometheus,
+)
 from ..obs.trace import Trace, activate
 from ..obs.trace import current as current_trace
 from .metrics import ServerMetrics
 from .shard import ShardExecutor
+from .slo import AdmissionRejected, LaneController, SLOConfig
 
 
 class ServerClosed(RuntimeError):
@@ -59,7 +65,7 @@ class ServerOverloaded(RuntimeError):
 class _Lane:
     """One compiled program's queue plus its drainer task."""
 
-    __slots__ = ("prog", "queue", "drainer", "exec_lock", "idle")
+    __slots__ = ("prog", "queue", "drainer", "exec_lock", "idle", "ctrl")
 
     def __init__(self, prog: CompiledProgram, max_queue: int) -> None:
         self.prog = prog
@@ -72,6 +78,10 @@ class _Lane:
         #: batch (empty queue, nothing forming, nothing executing) — the
         #: only state in which the lane can be evicted without losing work
         self.idle = False
+        #: the lane's SLO controller (None without an SLO, and always None
+        #: on isolation lanes — an isolated outlier must not steer the
+        #: knobs its siblings run under)
+        self.ctrl: Optional[LaneController] = None
 
 
 class Server:
@@ -101,6 +111,19 @@ class Server:
     ``worker_threads``
         Executor threads running the (GIL-releasing NumPy) machine calls;
         more than one only helps when several lanes are active.
+    ``cache``
+        The compile cache (:mod:`repro.cache`) server-side compiles go
+        through.  Defaults to the ``REPRO_CACHE_DIR`` environment variable
+        (unset = no cache); pass a :class:`~repro.cache.CompileCache`
+        explicitly, or ``None``/``False`` to disable.  A warm cache makes a
+        server restart skip every compile.
+    ``slo``
+        An :class:`~repro.serving.slo.SLOConfig` switches the scheduler to
+        SLO mode: per-lane controllers auto-tune the effective
+        ``max_batch``/``max_delay_ms`` against the target p99 (the
+        constructor values become the hard caps), and admission control
+        rejects (:class:`~repro.serving.slo.AdmissionRejected`) or
+        lane-isolates requests whose predicted cost would blow the SLO.
     """
 
     def __init__(
@@ -117,6 +140,8 @@ class Server:
         max_programs: int = 64,
         backend: Optional[str] = None,
         tracer: Optional[Trace] = None,
+        cache: object = ENV_DEFAULT,
+        slo: Optional[SLOConfig] = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -155,6 +180,14 @@ class Server:
         #: tasks and executor threads do not reliably inherit the
         #: submitter's contextvars.
         self.tracer = tracer
+        #: the compile cache functions are compiled through (resolved once:
+        #: ``REPRO_CACHE_DIR`` by default, an explicit CompileCache, or
+        #: ``None``/``False`` for no caching); also surfaced by
+        #: :meth:`metrics_endpoint`
+        self._cache = resolve_cache(cache)
+        #: the serving SLO (see :class:`repro.serving.slo.SLOConfig`);
+        #: ``None`` keeps the classic fixed-knob scheduler
+        self.slo = slo
         self.metrics = ServerMetrics()
         self._lanes: OrderedDict[int, _Lane] = OrderedDict()
         self._pool = ThreadPoolExecutor(
@@ -172,7 +205,7 @@ class Server:
         key = id(fn)
         entry = self._compiled.get(key)
         if entry is None or entry[0] is not fn:
-            entry = (fn, compile_nsc(fn, backend=self.backend))
+            entry = (fn, compile_nsc(fn, backend=self.backend, cache=self._cache))
             self._compiled[key] = entry
             while len(self._compiled) > self.max_programs:
                 self._compiled.popitem(last=False)  # harmless: recompiles
@@ -197,19 +230,46 @@ class Server:
                     cand.drainer.cancel()
                 del self._lanes[key]
 
-    def _lane(self, prog: CompiledProgram) -> _Lane:
-        key = id(prog)
+    def _lane(self, prog: CompiledProgram, isolated: bool = False) -> _Lane:
+        key: object = ("iso", id(prog)) if isolated else id(prog)
         lane = self._lanes.get(key)
         if lane is None or lane.prog is not prog:
             if len(self._lanes) >= self.max_programs:
                 self._evict_idle_lanes()
             lane = _Lane(prog, self.max_queue)
+            if self.slo is not None and not isolated:
+                lane.ctrl = LaneController(self.slo, self.max_batch, self.max_delay_s)
             lane.drainer = asyncio.get_running_loop().create_task(
-                self._drain(lane), name=f"repro-serve-drain-{key:x}"
+                self._drain(lane), name=f"repro-serve-drain-{id(prog):x}"
             )
             self._lanes[key] = lane
         else:
             self._lanes.move_to_end(key)
+        return lane
+
+    def _route(self, fn: Union[CompiledProgram, A.Function], value: object) -> _Lane:
+        """Resolve the request's lane, applying SLO admission control.
+
+        A predicted-expensive request either raises
+        :class:`~repro.serving.slo.AdmissionRejected` (``mode="reject"``) or
+        is diverted to the program's *isolation lane* (``mode="isolate"``) —
+        a separate queue and drainer, so ordinary requests never share a
+        batch (and therefore a ``T' = max``) with the outlier.
+        """
+        prog = self._resolve(fn)
+        lane = self._lane(prog)
+        if lane.ctrl is not None:
+            verdict = lane.ctrl.classify(value)
+            if verdict == "reject":
+                self.metrics.admission_rejected += 1
+                pred = lane.ctrl.predict_request_s(value)
+                raise AdmissionRejected(
+                    f"predicted request wall {pred * 1000.0:.3f}ms would blow the "
+                    f"{self.slo.target_p99_ms}ms p99 target"
+                )
+            if verdict == "isolate":
+                self.metrics.admission_isolated += 1
+                lane = self._lane(prog, isolated=True)
         return lane
 
     # -- submission ----------------------------------------------------------
@@ -225,7 +285,7 @@ class Server:
         """
         if self._closed:
             raise ServerClosed("server is closed")
-        lane = self._lane(self._resolve(fn))
+        lane = self._route(fn, value)
         fut = asyncio.get_running_loop().create_future()
         await lane.queue.put((value, fut, time.perf_counter()))
         if self._closed:
@@ -245,7 +305,7 @@ class Server:
         :class:`ServerOverloaded` immediately when the queue is full."""
         if self._closed:
             raise ServerClosed("server is closed")
-        lane = self._lane(self._resolve(fn))
+        lane = self._route(fn, value)
         fut = asyncio.get_running_loop().create_future()
         try:
             lane.queue.put_nowait((value, fut, time.perf_counter()))
@@ -277,17 +337,27 @@ class Server:
                 lane.idle = True  # evictable: empty hands, empty queue
                 first = await q.get()  # block until there is work
                 lane.idle = False
+                # effective knobs for THIS batch: the lane's SLO controller
+                # when one is attached (re-read per batch, so a mid-stream
+                # tightening applies from the very next batch), the
+                # server-wide values otherwise
+                if lane.ctrl is not None:
+                    max_batch = lane.ctrl.max_batch
+                    max_delay_s = lane.ctrl.max_delay_s
+                else:
+                    max_batch = self.max_batch
+                    max_delay_s = self.max_delay_s
                 batch = [first]
                 # opportunistic fill: whatever is queued rides along free
-                while len(batch) < self.max_batch:
+                while len(batch) < max_batch:
                     try:
                         batch.append(q.get_nowait())
                     except asyncio.QueueEmpty:
                         break
                 # adaptive wait: hold the partial batch open to the deadline
-                if len(batch) < self.max_batch and self.max_delay_s > 0:
-                    deadline = loop.time() + self.max_delay_s
-                    while len(batch) < self.max_batch:
+                if len(batch) < max_batch and max_delay_s > 0:
+                    deadline = loop.time() + max_delay_s
+                    while len(batch) < max_batch:
                         timeout = deadline - loop.time()
                         if timeout <= 0:
                             break
@@ -295,7 +365,7 @@ class Server:
                             batch.append(await asyncio.wait_for(q.get(), timeout))
                         except asyncio.TimeoutError:
                             break
-                        while len(batch) < self.max_batch:
+                        while len(batch) < max_batch:
                             try:
                                 batch.append(q.get_nowait())
                             except asyncio.QueueEmpty:
@@ -338,6 +408,11 @@ class Server:
             # re-activate the tracer so batch/encode-execute-decode spans
             # (repro.compiler.batch) land in the same trace
             with activate(tracer):
+                if lane.ctrl is not None and not lane.ctrl.calibrated:
+                    # one-off cost-model fit on a representative request —
+                    # on this executor thread, so the event loop keeps
+                    # accepting while the profile runs
+                    lane.ctrl.calibrate(prog, values[0])
                 return _run()
 
         def _run():
@@ -380,6 +455,11 @@ class Server:
                 if not fut.done():
                     fut.set_exception(e)
                 self.metrics.observe_request(now - t_submit, ok=False)
+                if lane.ctrl is not None:
+                    lane.ctrl.observe(now - t_submit, ok=False)
+            if lane.ctrl is not None:
+                lane.ctrl.note_batch(len(batch))
+                lane.ctrl.maybe_adjust()
             return
         now = time.perf_counter()
         self.metrics.observe_batch(len(batch))
@@ -396,10 +476,15 @@ class Server:
                 else:
                     fut.set_exception(res)
             self.metrics.observe_request(now - t_submit, ok=ok)
+            if lane.ctrl is not None:
+                lane.ctrl.observe(now - t_submit, ok=ok)
             if tracer is not None:
                 tracer.add_complete(
                     "serve/request", t_submit, now - t_submit, "serve", {"ok": ok}
                 )
+        if lane.ctrl is not None:
+            lane.ctrl.note_batch(len(batch))
+            lane.ctrl.maybe_adjust()
 
     # -- observability --------------------------------------------------------
 
@@ -418,15 +503,26 @@ class Server:
         shard = (
             self.executor.metrics_snapshot() if self.executor is not None else None
         )
+        cache = self._cache.snapshot() if self._cache is not None else None
         if format in ("prometheus", "text"):
             body = render_prometheus(snap)
             if shard is not None:
                 body += render_shard_prometheus(shard)
+            if cache is not None:
+                body += render_cache_prometheus(cache)
             return "text/plain; version=0.0.4; charset=utf-8", body
         if format != "json":
             raise ValueError(f"unknown metrics format {format!r} (json/prometheus)")
         if shard is not None:
             snap["shard_executor"] = shard
+        if cache is not None:
+            snap["compile_cache"] = cache
+        if self.slo is not None:
+            snap["slo_lanes"] = [
+                lane.ctrl.snapshot()
+                for lane in self._lanes.values()
+                if lane.ctrl is not None
+            ]
         return "application/json", json.dumps(snap, sort_keys=True)
 
     # -- lifecycle -----------------------------------------------------------

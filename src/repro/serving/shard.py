@@ -15,6 +15,17 @@ execution plans locally on first use, and keeps them in a bounded per-worker
 cache — the steady-state cost of a shard is one values-in/values-out message
 round-trip, not a recompile.
 
+When a compile cache is configured (:mod:`repro.cache`, ``REPRO_CACHE_DIR``
+or the ``cache=`` constructor knob), workers **warm from the cache instead
+of being shipped pickled programs**: the executor writes each program's
+envelope into the store once (reusing the very bytes it would have shipped)
+and sends only the content digest; the worker reads the artifact from disk.
+A cold dispatch shrinks from a program-sized message to a fixed-size one,
+the ``need_prog`` reply becomes a cache read, and a worker surviving across
+executor restarts (or a CI job restoring the cache directory) starts warm.
+The blob-shipping path remains the fallback whenever the store misses, so
+correctness never depends on the cache.
+
 Semantics mirror :func:`repro.compiler.batch.run_batch` exactly:
 
 * results are reassembled **order-preserving** (span order = batch order);
@@ -43,6 +54,7 @@ from typing import Optional, Sequence
 
 import multiprocessing as mp
 
+from ..cache.store import ENV_DEFAULT, CompileCache, resolve_cache
 from ..compiler.batch import BatchError, split_shards
 
 #: per-worker program cache bound — old entries are evicted LRU and
@@ -58,26 +70,39 @@ class ShardExecutorClosed(RuntimeError):
     """The executor was closed; no further batches can be dispatched."""
 
 
-def _worker_main(in_q, out_q) -> None:
+def _worker_main(in_q, out_q, cache_dir=None) -> None:
     """Worker loop: cache programs by key, run batched spans, report results.
 
     Every shard runs with ``return_exceptions=True`` so one trapping input
     cannot poison its shard siblings; the parent decides whether to raise.
+    With ``cache_dir`` set, a program absent from the in-process cache is
+    first looked up in the on-disk compile cache by its content ``digest``
+    (the parent wrote the artifact before dispatching); only a disk miss
+    triggers the ``need_prog`` resend round-trip.
     """
     cache: OrderedDict[int, object] = OrderedDict()
+    store = None
+    if cache_dir:
+        try:
+            store = CompileCache(cache_dir)
+        except Exception:
+            store = None  # an unusable cache degrades to blob shipping
     while True:
         msg = in_q.get()
         if msg is None:
             return
-        task_id, shard_idx, key, blob, values, max_steps, backend = msg
+        task_id, shard_idx, key, blob, digest, values, max_steps, backend = msg
         try:
             prog = cache.get(key)
             if prog is None:
-                if blob is None:
-                    # evicted (or never shipped): ask the parent to resend
+                if blob is not None:
+                    prog = pickle.loads(blob)
+                elif store is not None and digest is not None:
+                    prog = store.get(digest)  # the warm path: a cache read
+                if prog is None:
+                    # evicted / never shipped / cache miss: ask for the blob
                     out_q.put((task_id, shard_idx, _STATUS_NEED_PROG, None))
                     continue
-                prog = pickle.loads(blob)
                 cache[key] = prog
                 while len(cache) > _WORKER_CACHE_SIZE:
                     cache.popitem(last=False)
@@ -111,15 +136,18 @@ class _Worker:
         self.shipped: OrderedDict[int, None] = OrderedDict()
         self.in_q = None  # set by ShardExecutor._spawn
         self.process = None  # set by ShardExecutor._spawn
-        #: parent-side per-worker counters (the worker wire protocol is
-        #: untouched): spans/items completed, infrastructure errors,
-        #: program re-ships, respawns after death, spans recomputed
-        #: in-parent, and busy seconds (span dispatch -> collection)
+        #: parent-side per-worker counters (the worker wire protocol carries
+        #: no metrics): spans/items completed, infrastructure errors,
+        #: program re-ships, cold dispatches served from the compile cache
+        #: (digest-only send, no ``need_prog`` came back), respawns after
+        #: death, spans recomputed in-parent, and busy seconds (span
+        #: dispatch -> collection)
         self.stats = {
             "spans": 0,
             "items": 0,
             "errors": 0,
             "need_prog": 0,
+            "cache_warm": 0,
             "respawns": 0,
             "fallback_spans": 0,
             "busy_s": 0.0,
@@ -149,10 +177,14 @@ class ShardExecutor:
         self,
         n_workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        cache: object = ENV_DEFAULT,
     ) -> None:
         if n_workers is not None and n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
         self.n_workers = n_workers or os.cpu_count() or 1
+        #: the compile cache workers warm from (default: ``REPRO_CACHE_DIR``,
+        #: ``None``/``False`` = classic blob shipping)
+        self._cache = resolve_cache(cache)
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -182,8 +214,9 @@ class ShardExecutor:
         # ``in_q.get()`` may die holding the queue's reader lock, and a
         # replacement reading the old queue would block on it forever.
         worker.in_q = self._ctx.Queue()
+        cache_dir = self._cache.path if self._cache is not None else None
         worker.process = self._ctx.Process(
-            target=_worker_main, args=(worker.in_q, self._out), daemon=True
+            target=_worker_main, args=(worker.in_q, self._out, cache_dir), daemon=True
         )
         worker.process.start()
         worker.shipped.clear()
@@ -238,33 +271,69 @@ class ShardExecutor:
 
     # -- dispatch ------------------------------------------------------------
 
-    def _blob_for(self, prog) -> tuple[int, bytes]:
+    def _blob_for(self, prog) -> tuple[int, bytes, Optional[str]]:
         pid = id(prog)
         entry = self._programs.get(pid)
         if entry is None or entry[0] is not prog:
             self._next_key += 1
-            entry = (
-                prog,
-                self._next_key,
-                pickle.dumps(prog, protocol=pickle.HIGHEST_PROTOCOL),
-            )
+            blob = pickle.dumps(prog, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = None
+            if self._cache is not None and getattr(prog, "source_fn", None) is not None:
+                from ..cache.key import cache_key
+
+                # seed the store with the exact bytes a ship would carry, so
+                # every worker (and every later process) finds the artifact
+                # under its content address
+                digest = cache_key(
+                    prog.source_fn,
+                    eps=prog.eps,
+                    opt_level=prog.opt_level,
+                    batch_axis=prog.batch_axis,
+                    backend=prog.backend,
+                )
+                try:
+                    self._cache.put(digest, prog, payload=blob)
+                except OSError:
+                    digest = None  # unwritable store: fall back to shipping
+            entry = (prog, self._next_key, blob, digest)
             self._programs[pid] = entry
             while len(self._programs) > _WORKER_CACHE_SIZE:
                 self._programs.popitem(last=False)
         else:
             self._programs.move_to_end(pid)
-        return entry[1], entry[2]
+        return entry[1], entry[2], entry[3]
 
     def _send(
-        self, worker: _Worker, task_id, shard_idx, key, blob, values, max_steps, backend
-    ):
+        self,
+        worker: _Worker,
+        task_id,
+        shard_idx,
+        key,
+        blob,
+        digest,
+        values,
+        max_steps,
+        backend,
+        force_blob: bool = False,
+    ) -> bool:
+        """Dispatch one span; True when this was a digest-only cold send.
+
+        A cold key normally ships the pickled program; with a compile cache
+        configured the send is *optimistic* — digest only — and the worker
+        warms from disk (``force_blob`` overrides after a ``need_prog``).
+        """
         ship = None
+        optimistic = False
         if key not in worker.shipped:
-            ship = blob
+            if digest is not None and not force_blob:
+                optimistic = True
+            else:
+                ship = blob
             worker.mark_shipped(key)
         worker.in_q.put(
-            (task_id, shard_idx, key, ship, list(values), max_steps, backend)
+            (task_id, shard_idx, key, ship, digest, list(values), max_steps, backend)
         )
+        return optimistic
 
     def run_batch(
         self,
@@ -297,21 +366,25 @@ class ShardExecutor:
             # key/blob assignment must happen under the dispatch lock: two
             # threads registering different cold programs concurrently could
             # otherwise read the same wire key, aliasing worker cache slots
-            key, blob = self._blob_for(prog)
+            key, blob, digest = self._blob_for(prog)
             self._task_counter += 1
             task_id = self._task_counter
             assignment = {}  # shard_idx -> (worker, offset, chunk)
             sent_at = {}  # shard_idx -> dispatch perf_counter (worker busy_s)
+            optimistic = set()  # shards sent digest-only (cache_warm on OK)
             for shard_idx, (off, length) in enumerate(spans):
                 worker = self._workers[shard_idx % self.n_workers]
                 chunk = values[off : off + length]
                 assignment[shard_idx] = (worker, off, chunk)
                 sent_at[shard_idx] = time.perf_counter()
-                self._send(
-                    worker, task_id, shard_idx, key, blob, chunk, max_steps, backend
-                )
+                if self._send(
+                    worker, task_id, shard_idx, key, blob, digest, chunk,
+                    max_steps, backend,
+                ):
+                    optimistic.add(shard_idx)
             per_shard = self._collect(
-                prog, task_id, key, blob, assignment, sent_at, max_steps, backend
+                prog, task_id, key, blob, digest, assignment, sent_at,
+                optimistic, max_steps, backend,
             )
 
         out: list = []
@@ -329,7 +402,8 @@ class ShardExecutor:
         return out
 
     def _collect(
-        self, prog, task_id, key, blob, assignment, sent_at, max_steps, backend
+        self, prog, task_id, key, blob, digest, assignment, sent_at,
+        optimistic, max_steps, backend,
     ) -> dict:
         """Gather one result per assigned shard, surviving worker deaths."""
         done: dict[int, list] = {}
@@ -366,12 +440,15 @@ class ShardExecutor:
                 continue  # stale result from an abandoned task
             worker = assignment[shard_idx][0]
             if status == _STATUS_NEED_PROG:
-                # the worker evicted this program: resend with the blob
+                # worker-cache eviction, or the optimistic digest-only send
+                # missed the worker's on-disk store: resend with the blob
                 worker.shipped.pop(key, None)
                 worker.stats["need_prog"] += 1
+                optimistic.discard(shard_idx)
                 self._send(
-                    worker, task_id, shard_idx, key, blob,
+                    worker, task_id, shard_idx, key, blob, digest,
                     assignment[shard_idx][2], max_steps, backend,
+                    force_blob=True,
                 )
                 continue
             if status == _STATUS_ERROR:
@@ -393,4 +470,9 @@ class ShardExecutor:
             worker.stats["spans"] += 1
             worker.stats["items"] += len(assignment[shard_idx][2])
             worker.stats["busy_s"] += time.perf_counter() - sent_at[shard_idx]
+            if shard_idx in optimistic:
+                # the digest-only cold send completed without a need_prog
+                # round-trip: the worker warmed this program from the cache
+                optimistic.discard(shard_idx)
+                worker.stats["cache_warm"] += 1
         return done

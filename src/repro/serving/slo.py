@@ -1,0 +1,289 @@
+"""SLO-driven adaptive control for the serving scheduler.
+
+The paper's cost model makes serving *predictable*: a batch's ``T'`` is the
+max over its requests (batching is one more segment level, Theorem 7.1) while
+``W'`` sums, and PR 7's measured fit ``wall ~ alpha*T' + beta*W'``
+(:func:`repro.obs.costcheck.cost_check`) turns those machine costs into
+seconds.  This module spends that predictability twice:
+
+* **auto-tuning** — a :class:`LaneController` per program lane watches the
+  lane's live p99 over its own small sliding window and AIMD-adjusts the
+  lane's effective ``max_batch`` / ``max_delay_ms`` against
+  ``SLOConfig.target_p99_ms``: over target halves both (multiplicative
+  decrease), comfortably under target grows them additively back toward the
+  server-wide caps.  The decrease clears the controller's window, so the
+  next verdict reflects the *new* knobs, not stale pre-tightening samples.
+
+* **admission control** — the controller calibrates ``alpha``/``beta`` by
+  profiling one representative request, then predicts each arrival's solo
+  wall time by scaling the calibrated ``W'`` with the request's size (the
+  paper's work measure is size-linear per element touched; ``T'`` is taken
+  as the calibrated depth, conservative for the usual fixed-program case).
+  A request predicted to blow the SLO on its own — or predicted
+  ``admit_factor`` times costlier than the calibrated baseline, which would
+  stretch every co-batched sibling's ``T' = max`` — is **rejected**
+  (:class:`AdmissionRejected`) or **lane-isolated** (run in a separate
+  lane so siblings keep their latency), per ``SLOConfig.mode``.
+
+Everything here is event-loop-side bookkeeping on plain floats; the only
+heavy call is the one-off calibration profile, which the scheduler runs on
+its executor thread alongside the first batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .metrics import ServerMetrics
+
+
+class AdmissionRejected(RuntimeError):
+    """SLO admission control refused the request (predicted too expensive)."""
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Declarative SLO for a :class:`repro.serving.Server`.
+
+    ``target_p99_ms``
+        The latency objective: the controller tunes each lane until its
+        windowed p99 sits at or under this.
+    ``mode``
+        What happens to a predicted-expensive request: ``"reject"`` raises
+        :class:`AdmissionRejected` at submit time, ``"isolate"`` accepts it
+        but runs it in a per-program isolation lane so ordinary requests
+        never share its batch.
+    ``admit_factor``
+        Outlier threshold: a request predicted more than this many times the
+        calibrated baseline request's wall is expensive (it would stretch
+        the whole batch, ``T' = max``).  A request predicted over the target
+        on its own is always expensive, whatever the factor.
+    ``min_batch`` / ``min_delay_ms``
+        Floors for the multiplicative decrease — the controller never tunes
+        a lane below single-request dispatch.
+    ``adjust_every``
+        Batches between controller verdicts (gives a fresh window a chance
+        to fill before the next decision).
+    ``grow_headroom``
+        Fraction of the target under which the additive increase kicks in
+        (between ``grow_headroom * target`` and ``target`` the controller
+        holds steady — hysteresis against oscillation).
+    ``window``
+        The controller's private latency window (requests); small by design
+        so verdicts track the *current* knobs.
+    ``calibrate``
+        Set ``False`` to skip profiling (admission control then stays off;
+        p99 auto-tuning still runs).
+    """
+
+    target_p99_ms: float
+    mode: str = "reject"
+    admit_factor: float = 16.0
+    min_batch: int = 1
+    min_delay_ms: float = 0.0
+    adjust_every: int = 4
+    grow_headroom: float = 0.5
+    window: int = 256
+    calibrate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.target_p99_ms <= 0:
+            raise ValueError(f"target_p99_ms must be positive, got {self.target_p99_ms}")
+        if self.mode not in ("reject", "isolate"):
+            raise ValueError(f"mode must be 'reject' or 'isolate', got {self.mode!r}")
+        if self.admit_factor < 1.0:
+            raise ValueError(f"admit_factor must be >= 1, got {self.admit_factor}")
+        if self.min_batch < 1:
+            raise ValueError(f"min_batch must be >= 1, got {self.min_batch}")
+        if not 0.0 < self.grow_headroom <= 1.0:
+            raise ValueError(
+                f"grow_headroom must be in (0, 1], got {self.grow_headroom}"
+            )
+        if self.adjust_every < 1:
+            raise ValueError(f"adjust_every must be >= 1, got {self.adjust_every}")
+
+
+def request_size(value: object) -> float:
+    """A unit-cost size measure for one request (S-object or plain Python).
+
+    Matches :attr:`repro.nsc.values.Value.size` for S-objects; plain Python
+    payloads are counted structurally (every scalar and every sequence node
+    is one unit).  Iterative, so deeply nested request data cannot overflow
+    the recursion limit.
+    """
+    from ..nsc.values import Value
+
+    if isinstance(value, Value):
+        return float(value.size)
+    total = 0
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        total += 1
+        if isinstance(v, (list, tuple)):
+            stack.extend(v)
+    return float(total)
+
+
+class LaneController:
+    """Per-lane SLO state: calibrated cost model + AIMD-tuned batch knobs.
+
+    The scheduler reads :attr:`max_batch` / :attr:`max_delay_s` when forming
+    each batch, calls :meth:`calibrate` (executor thread) before the lane's
+    first run, :meth:`classify` at submit time, and :meth:`observe` /
+    :meth:`note_batch` after each completion.  All mutation happens on the
+    event-loop thread except ``calibrate``, which writes its results once
+    and is ordered before any ``classify`` can see ``calibrated=True``.
+    """
+
+    def __init__(
+        self, cfg: SLOConfig, hard_max_batch: int, hard_max_delay_s: float
+    ) -> None:
+        self.cfg = cfg
+        self.hard_max_batch = hard_max_batch
+        self.hard_max_delay_s = hard_max_delay_s
+        #: the lane's *effective* knobs (start at the server-wide caps)
+        self.max_batch = hard_max_batch
+        self.max_delay_s = hard_max_delay_s
+        #: private latency window — deliberately small, see SLOConfig.window
+        self.metrics = ServerMetrics(window=cfg.window)
+        self.calibrated = False
+        self.alpha_s = 0.0  #: fitted seconds per T' unit
+        self.beta_s = 0.0  #: fitted seconds per W' unit
+        self.t_cal = 0  #: calibrated T' (one representative request)
+        self.w_cal = 0  #: calibrated W'
+        self.size_cal = 1.0  #: calibrated request size
+        self._batches_since_adjust = 0
+        #: controller decisions, for observability
+        self.tightenings = 0
+        self.growths = 0
+
+    # -- calibration ----------------------------------------------------------
+
+    def calibrate(self, prog, value: object) -> None:
+        """Fit alpha/beta by profiling ``value`` on ``prog`` (once, best-effort).
+
+        A trapping or unprofilable request leaves the controller
+        uncalibrated — admission control stays off, auto-tuning still works —
+        and the next batch's representative is tried instead.
+        """
+        if self.calibrated or not self.cfg.calibrate:
+            return
+        from ..obs.costcheck import cost_check
+
+        try:
+            report = prog.profile(value)
+            if report.error is not None or report.work <= 0:
+                return
+            fit = cost_check(report)
+            size = request_size(value)
+        except Exception:
+            return
+        self.alpha_s = max(fit.alpha_s, 0.0)
+        self.beta_s = max(fit.beta_s, 0.0)
+        self.t_cal = report.time
+        self.w_cal = report.work
+        self.size_cal = max(size, 1.0)
+        self.calibrated = True
+
+    # -- prediction + admission ----------------------------------------------
+
+    def predict_request_s(self, value: object) -> Optional[float]:
+        """Predicted solo wall seconds for ``value`` (``None`` uncalibrated).
+
+        ``W'`` scales with the request's size relative to the calibration
+        request (the work measure is per-element); ``T'`` is held at the
+        calibrated depth — for a fixed program the depth is size-logarithmic
+        at worst, and under-predicting ``T'`` only makes admission more
+        permissive, never wrong.
+        """
+        if not self.calibrated:
+            return None
+        scale = request_size(value) / self.size_cal
+        return self.alpha_s * self.t_cal + self.beta_s * self.w_cal * scale
+
+    def predict_batch_s(self, values: list) -> Optional[float]:
+        """Predicted wall seconds for one batched run of ``values``.
+
+        The paper's batching property priced in seconds: ``T'`` is the max
+        over the batch (one more segment level), ``W'`` sums.
+        """
+        if not self.calibrated or not values:
+            return None
+        scales = [request_size(v) / self.size_cal for v in values]
+        return self.alpha_s * self.t_cal + self.beta_s * self.w_cal * sum(scales)
+
+    def classify(self, value: object) -> Optional[str]:
+        """``None`` to admit normally, else the configured expensive-mode.
+
+        Expensive = predicted solo wall over the SLO target (it cannot meet
+        the target even alone), or over ``admit_factor`` times the
+        calibrated baseline (it would stretch every sibling, ``T' = max``).
+        """
+        pred = self.predict_request_s(value)
+        if pred is None:
+            return None
+        target_s = self.cfg.target_p99_ms / 1000.0
+        baseline = self.alpha_s * self.t_cal + self.beta_s * self.w_cal
+        if pred > target_s or (baseline > 0 and pred > self.cfg.admit_factor * baseline):
+            return self.cfg.mode
+        return None
+
+    # -- feedback loop ---------------------------------------------------------
+
+    def observe(self, latency_s: float, ok: bool) -> None:
+        self.metrics.observe_request(latency_s, ok=ok)
+
+    def note_batch(self, size: int) -> None:
+        self.metrics.observe_batch(size)
+        self._batches_since_adjust += 1
+
+    def maybe_adjust(self) -> bool:
+        """Run one AIMD verdict if due; True when a knob changed."""
+        if self._batches_since_adjust < self.cfg.adjust_every:
+            return False
+        self._batches_since_adjust = 0
+        p99 = self.metrics.p99_latency_s
+        if p99 is None:
+            return False
+        target_s = self.cfg.target_p99_ms / 1000.0
+        if p99 > target_s:
+            new_batch = max(self.cfg.min_batch, self.max_batch // 2)
+            new_delay = max(self.cfg.min_delay_ms / 1000.0, self.max_delay_s / 2)
+            changed = (new_batch, new_delay) != (self.max_batch, self.max_delay_s)
+            self.max_batch, self.max_delay_s = new_batch, new_delay
+            if changed:
+                self.tightenings += 1
+                # stale samples were measured under the old, looser knobs;
+                # the next verdict must reflect the new ones
+                self.metrics = ServerMetrics(window=self.cfg.window)
+            return changed
+        if p99 < self.cfg.grow_headroom * target_s:
+            new_batch = min(self.hard_max_batch, self.max_batch + 1)
+            new_delay = min(
+                self.hard_max_delay_s,
+                self.max_delay_s + self.hard_max_delay_s / 8.0,
+            )
+            changed = (new_batch, new_delay) != (self.max_batch, self.max_delay_s)
+            self.max_batch, self.max_delay_s = new_batch, new_delay
+            if changed:
+                self.growths += 1
+            return changed
+        return False
+
+    def snapshot(self) -> dict:
+        """JSON-able controller state for the metrics endpoint."""
+        return {
+            "max_batch": self.max_batch,
+            "max_delay_ms": round(self.max_delay_s * 1000.0, 3),
+            "calibrated": self.calibrated,
+            "alpha_s_per_t": self.alpha_s,
+            "beta_s_per_w": self.beta_s,
+            "t_cal": self.t_cal,
+            "w_cal": self.w_cal,
+            "size_cal": self.size_cal,
+            "tightenings": self.tightenings,
+            "growths": self.growths,
+            "window_p99_s": self.metrics.p99_latency_s,
+        }

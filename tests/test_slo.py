@@ -1,0 +1,267 @@
+"""SLO scheduling: AIMD convergence, cost-model admission control, isolation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.nsc import builder as B
+from repro.nsc.lib import reduce_add
+from repro.nsc.types import NAT
+from repro.nsc.values import from_python
+from repro.serving import AdmissionRejected, LaneController, Server, SLOConfig
+from repro.serving.slo import request_size
+
+
+def _affine_fn():
+    x = B.gensym("x")
+    return B.map_(B.lam(x, NAT, B.mod(B.add(B.mul(B.v(x), 7), 3), 101)))
+
+
+# ---------------------------------------------------------------------------
+# config + sizing
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SLOConfig(target_p99_ms=0)
+    with pytest.raises(ValueError):
+        SLOConfig(target_p99_ms=10, mode="drop")
+    with pytest.raises(ValueError):
+        SLOConfig(target_p99_ms=10, admit_factor=0.5)
+    with pytest.raises(ValueError):
+        SLOConfig(target_p99_ms=10, grow_headroom=0.0)
+
+
+def test_request_size_matches_value_size():
+    payload = [[1, 2], [3], []]
+    assert request_size(from_python(payload)) == float(from_python(payload).size)
+    assert request_size(7) == 1.0
+    assert request_size([1, 2, 3]) == 4.0  # the node + three scalars
+
+
+def test_request_size_deep_no_recursion_error():
+    deep: list = [1]
+    for _ in range(5000):
+        deep = [deep]
+    assert request_size(deep) == 5002.0
+
+
+# ---------------------------------------------------------------------------
+# the AIMD controller, in isolation
+
+
+def test_controller_tightens_multiplicatively():
+    cfg = SLOConfig(target_p99_ms=10.0, adjust_every=1, window=32)
+    ctrl = LaneController(cfg, hard_max_batch=64, hard_max_delay_s=0.1)
+    for _ in range(8):
+        ctrl.observe(0.05, ok=True)  # 50ms >> 10ms target
+    ctrl.note_batch(8)
+    assert ctrl.maybe_adjust()
+    assert ctrl.max_batch == 32
+    assert ctrl.max_delay_s == pytest.approx(0.05)
+    assert ctrl.tightenings == 1
+    # the window was cleared: no verdict until fresh samples arrive
+    ctrl.note_batch(1)
+    assert not ctrl.maybe_adjust()
+
+
+def test_controller_grows_additively_under_headroom():
+    cfg = SLOConfig(target_p99_ms=10.0, adjust_every=1, window=32)
+    ctrl = LaneController(cfg, hard_max_batch=64, hard_max_delay_s=0.1)
+    ctrl.max_batch, ctrl.max_delay_s = 8, 0.01
+    for _ in range(8):
+        ctrl.observe(0.001, ok=True)  # 1ms << 5ms headroom
+    ctrl.note_batch(8)
+    assert ctrl.maybe_adjust()
+    assert ctrl.max_batch == 9  # +1, not doubled
+    assert ctrl.max_delay_s == pytest.approx(0.01 + 0.1 / 8.0)
+    assert ctrl.growths == 1
+
+
+def test_controller_holds_in_the_deadband():
+    cfg = SLOConfig(target_p99_ms=10.0, adjust_every=1, grow_headroom=0.5)
+    ctrl = LaneController(cfg, hard_max_batch=64, hard_max_delay_s=0.1)
+    for _ in range(8):
+        ctrl.observe(0.007, ok=True)  # between 5ms headroom and 10ms target
+    ctrl.note_batch(8)
+    assert not ctrl.maybe_adjust()
+    assert ctrl.max_batch == 64 and ctrl.tightenings == ctrl.growths == 0
+
+
+def test_controller_respects_floors_and_caps():
+    cfg = SLOConfig(
+        target_p99_ms=10.0, adjust_every=1, min_batch=4, min_delay_ms=1.0, window=8
+    )
+    ctrl = LaneController(cfg, hard_max_batch=8, hard_max_delay_s=0.002)
+    for _ in range(10):
+        ctrl.observe(0.05, ok=True)
+        ctrl.note_batch(1)
+        ctrl.maybe_adjust()
+    assert ctrl.max_batch == 4
+    assert ctrl.max_delay_s == pytest.approx(0.001)
+    # and growth never exceeds the hard caps
+    for _ in range(50):
+        ctrl.observe(0.0001, ok=True)
+        ctrl.note_batch(1)
+        ctrl.maybe_adjust()
+    assert ctrl.max_batch == 8
+    assert ctrl.max_delay_s == pytest.approx(0.002)
+
+
+def test_controller_adjusts_only_every_n_batches():
+    cfg = SLOConfig(target_p99_ms=10.0, adjust_every=3)
+    ctrl = LaneController(cfg, hard_max_batch=64, hard_max_delay_s=0.1)
+    for _ in range(4):
+        ctrl.observe(0.05, ok=True)
+    ctrl.note_batch(4)
+    assert not ctrl.maybe_adjust()
+    ctrl.note_batch(1)
+    assert not ctrl.maybe_adjust()
+    ctrl.note_batch(1)
+    assert ctrl.maybe_adjust()
+
+
+def test_prediction_batch_is_t_max_w_sum():
+    """Batched cost: T' contributes once (max), W' sums over the batch."""
+    ctrl = LaneController(SLOConfig(target_p99_ms=10.0), 64, 0.002)
+    ctrl.calibrated = True
+    ctrl.alpha_s, ctrl.beta_s = 1e-6, 1e-8
+    ctrl.t_cal, ctrl.w_cal, ctrl.size_cal = 1000, 10_000, 10.0
+    value = [0] * 9  # request_size == 10 == size_cal
+    single = ctrl.predict_request_s(value)
+    t_part = ctrl.alpha_s * ctrl.t_cal
+    batch4 = ctrl.predict_batch_s([value] * 4)
+    assert batch4 == pytest.approx(t_part + 4 * (single - t_part))
+    assert batch4 < 4 * single  # batching genuinely predicted cheaper
+
+
+def test_uncalibrated_controller_admits_everything():
+    ctrl = LaneController(SLOConfig(target_p99_ms=10.0), 64, 0.002)
+    assert ctrl.predict_request_s([1, 2, 3]) is None
+    assert ctrl.classify(list(range(10_000))) is None
+
+
+# ---------------------------------------------------------------------------
+# integration: convergence under open-loop load
+
+
+def test_slo_convergence_under_open_loop_load():
+    """The controller tightens until the lane's windowed p99 meets the target.
+
+    Open-loop: requests arrive on their own clock (~2ms apart), regardless
+    of completions.  The server starts with a deliberately awful
+    ``max_delay_ms=100`` against a 60ms target, so the first verdicts see
+    p99 ~ 100ms and must tighten; steady state under the tightened knobs
+    sits far below the target.
+    """
+    fn = _affine_fn()
+    n_requests = 220
+
+    async def main():
+        slo = SLOConfig(target_p99_ms=60.0, adjust_every=2, window=64)
+        async with Server(
+            max_batch=64, max_delay_ms=100.0, slo=slo, cache=None
+        ) as srv:
+            async def paced(i):
+                await asyncio.sleep(0.002 * i)
+                return await srv.submit(fn, [i, i + 1, i + 2])
+            results = await asyncio.gather(*(paced(i) for i in range(n_requests)))
+            lane = next(
+                lane for lane in srv._lanes.values() if lane.ctrl is not None
+            )
+            return srv, lane.ctrl, results
+
+    srv, ctrl, results = asyncio.run(main())
+    prog_expected = [
+        str((v * 7 + 3) % 101) for v in range(3)
+    ]  # sanity for request 0
+    assert str(results[0]).strip("[]").split(", ") == prog_expected
+    # every request exact (spot-check shape: 220 values, no exceptions)
+    assert len(results) == n_requests
+    assert srv.metrics.completed == n_requests and srv.metrics.failed == 0
+    # the controller actually tightened away from the awful initial knobs
+    assert ctrl.tightenings >= 1
+    assert ctrl.max_delay_s < 0.1
+    # and the lane's final windowed p99 meets the SLO
+    final_p99 = ctrl.metrics.p99_latency_s
+    assert final_p99 is not None and final_p99 <= 0.06, final_p99
+
+
+# ---------------------------------------------------------------------------
+# integration: admission control
+
+
+def test_admission_rejects_predicted_expensive_outlier():
+    fn = reduce_add()
+
+    async def main():
+        slo = SLOConfig(target_p99_ms=50.0, admit_factor=8.0)
+        async with Server(
+            max_batch=32, max_delay_ms=5.0, slo=slo, cache=None
+        ) as srv:
+            small = [list(range(8)) for _ in range(16)]
+            outs = await asyncio.gather(*(srv.submit(fn, v) for v in small))
+            assert all(str(o) == "28" for o in outs)
+            with pytest.raises(AdmissionRejected):
+                await srv.submit(fn, list(range(500_000)))
+            # siblings keep flowing, exactly
+            outs = await asyncio.gather(*(srv.submit(fn, v) for v in small[:4]))
+            assert all(str(o) == "28" for o in outs)
+            _, body = await srv.metrics_endpoint("prometheus")
+            return srv, body
+
+    srv, body = asyncio.run(main())
+    assert srv.metrics.admission_rejected == 1
+    assert srv.metrics.admission_isolated == 0
+    assert "repro_server_admission_rejected_total 1" in body
+
+
+def test_admission_isolates_instead_when_configured():
+    fn = reduce_add()
+    big = list(range(50_000))
+
+    async def main():
+        slo = SLOConfig(target_p99_ms=50.0, admit_factor=8.0, mode="isolate")
+        async with Server(
+            max_batch=32, max_delay_ms=5.0, slo=slo, cache=None
+        ) as srv:
+            small = [list(range(8)) for _ in range(16)]
+            outs = await asyncio.gather(*(srv.submit(fn, v) for v in small))
+            assert all(str(o) == "28" for o in outs)
+            out_big, *out_small = await asyncio.gather(
+                srv.submit(fn, big), *(srv.submit(fn, v) for v in small[:4])
+            )
+            # the outlier still ran (exactly), in its own lane
+            assert str(out_big) == str(sum(big))
+            assert all(str(o) == "28" for o in out_small)
+            iso_lanes = [k for k in srv._lanes if isinstance(k, tuple)]
+            assert len(iso_lanes) == 1
+            # isolation lanes never steer the siblings' controller
+            assert srv._lanes[iso_lanes[0]].ctrl is None
+            _, body = await srv.metrics_endpoint("json")
+            return srv, body
+
+    srv, body = asyncio.run(main())
+    assert srv.metrics.admission_isolated == 1
+    assert srv.metrics.admission_rejected == 0
+    assert '"admission_isolated": 1' in body and '"slo_lanes"' in body
+
+
+def test_slo_off_keeps_classic_scheduler():
+    fn = _affine_fn()
+
+    async def main():
+        async with Server(max_batch=8, max_delay_ms=2.0, cache=None) as srv:
+            outs = await asyncio.gather(
+                *(srv.submit(fn, [i]) for i in range(20))
+            )
+            lane = next(iter(srv._lanes.values()))
+            assert lane.ctrl is None
+            _, body = await srv.metrics_endpoint("json")
+            assert "slo_lanes" not in body
+            return outs
+
+    outs = asyncio.run(main())
+    assert [str(o) for o in outs] == [f"[{(i * 7 + 3) % 101}]" for i in range(20)]
