@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every ``bench_e*.py`` experiment and emit ``BENCH_PR8.json``.
+"""Run every ``bench_e*.py`` experiment and emit ``BENCH_PR10.json``.
 
 This is the perf-regression harness the CI job runs:
 
@@ -8,7 +8,7 @@ This is the perf-regression harness the CI job runs:
    pointing at a scratch file — the experiments' :func:`common.record` calls
    land there as JSON lines;
 2. the per-experiment wall-clock and records are aggregated into one
-   machine-readable JSON document (default: ``BENCH_PR8.json`` at the repo
+   machine-readable JSON document (default: ``BENCH_PR10.json`` at the repo
    root), suitable for uploading as a workflow artifact and for committing
    as the next baseline;
 3. with ``--check``, the document is compared against the committed baseline
@@ -36,7 +36,7 @@ like.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py            # write BENCH_PR8.json
+    PYTHONPATH=src python benchmarks/run_all.py            # write BENCH_PR10.json
     PYTHONPATH=src python benchmarks/run_all.py --check    # + regression gate
     PYTHONPATH=src python benchmarks/run_all.py --only e9,e10  # subset run
     PYTHONPATH=src python benchmarks/run_all.py --update-baseline  # refresh baseline
@@ -170,7 +170,7 @@ def check(
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    ap.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR8.json"))
+    ap.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR10.json"))
     ap.add_argument(
         "--baseline", default=os.path.join(BENCH_DIR, "bench_baseline.json")
     )

@@ -74,6 +74,7 @@ from .codegen import (
     encode_values,
     field_count,
     reuse_registers,
+    split_batch,
 )
 from .flatten import Ctx, Flattener, rep_from_regs, rep_regs
 from .nsa import CompileError, block_size, hoist_projections, lower_function
@@ -163,6 +164,40 @@ class CompiledProgram(Program):
         if self.batch_axis:
             fields.append(np.zeros(len(values), dtype=np.int64))
         return fields
+
+    def encode_batch_fields(self, values: Sequence[Value]) -> list[np.ndarray]:
+        """The canonical field encoding of a batch — value fields only.
+
+        Unlike :meth:`encode_batch_input` this never appends the batch
+        template and works on width-1 programs too: it is the transport
+        image a shard executor encodes **once** per batch and then splits
+        into per-span views with :meth:`split_batch_fields`.
+        """
+        assert self.dom is not None
+        return encode_batch(values, self.dom)
+
+    def split_batch_fields(
+        self, fields: Sequence[np.ndarray], spans: Sequence[tuple[int, int]]
+    ) -> list[list[np.ndarray]]:
+        """Slice one batch's field encoding into per-span field **views**.
+
+        Each span's field list is exactly what :meth:`encode_batch_fields`
+        would produce for that sub-batch, but as zero-copy views into
+        ``fields`` — the entry point the shared-memory shard transport
+        ships spans through (see :func:`repro.compiler.codegen.split_batch`).
+        """
+        assert self.dom is not None
+        return split_batch(fields, self.dom, spans)
+
+    def decode_batch_fields(self, fields: Sequence, count: int) -> list[Value]:
+        """Rebuild ``count`` result S-objects from *output* field vectors.
+
+        The inverse transport entry point: ``fields`` holds the codomain
+        encoding — e.g. the output registers a shard worker shipped back by
+        reference — rather than a full register file.
+        """
+        assert self.cod is not None
+        return decode_batch(fields, self.cod, count)
 
     def decode_output(self, registers: Sequence) -> Value:
         """Rebuild the result S-object from the output registers."""

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
+import numpy as np
+
 from ..backends.registry import ForkSafeLock
 from ..bvram import BVRAM, BVRAMError
 from ..nsc.values import Value, from_python
@@ -179,6 +181,55 @@ def run_batch(
                 return twin.decode_batch_output(res.registers, len(vals))
     with _span("batch/fallback", "serve", batch=len(vals)):
         return _run_batch_fallback(prog, vals, max_steps, return_exceptions, backend)
+
+
+def run_batch_fields(
+    prog: "CompiledProgram",
+    fields: Sequence[np.ndarray],
+    count: int,
+    max_steps: int = 10_000_000,
+    backend: Optional[str] = None,
+) -> tuple[str, list]:
+    """Run a batch already in canonical **field encoding**; no re-encode.
+
+    ``fields`` is the ``encode_batch(values, prog.dom)`` image of ``count``
+    inputs — value fields only, the batch-template register is appended
+    here.  This is the shard-worker entry point of the zero-copy transport:
+    the fields may be read-only views into a shared-memory segment, and on
+    the fast path **no S-object is ever materialised** — the return is
+    ``("registers", regs)``, the batched twin's output registers still in
+    flat encoding, for the caller to ship by reference and decode on the
+    other side.
+
+    When the twin cannot run (no ``source_fn``, compile failure, or the
+    batched run trapped), the inputs are decoded from the fields and the
+    documented per-input fallback loop takes over, returning
+    ``("values", results)`` with in-slot :class:`BatchError` objects — the
+    same isolation semantics as ``run_batch(return_exceptions=True)``.
+    """
+    if count == 0:
+        return ("values", [])
+    twin = batched_program(prog)
+    if twin is not None:
+        machine = BVRAM(twin.n_registers)
+        inputs = list(fields)
+        inputs.append(np.zeros(count, dtype=np.int64))
+        try:
+            with _span("batch/execute", "serve", batch=count) as sp:
+                res = machine.run(
+                    twin, inputs, max_steps=max_steps, record_trace=False, backend=backend
+                )
+                sp.note(time=res.time, work=res.work)
+        except BVRAMError as e:
+            prog._batch_fallback_error = e
+        else:
+            prog._batch_fallback_error = None
+            return ("registers", [res.registers[i] for i in range(twin.n_outputs)])
+    from .codegen import decode_batch
+
+    vals = decode_batch(fields, prog.dom, count)
+    with _span("batch/fallback", "serve", batch=count):
+        return ("values", _run_batch_fallback(prog, vals, max_steps, True, backend))
 
 
 def _run_batch_fallback(

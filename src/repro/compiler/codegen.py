@@ -477,6 +477,83 @@ def encode_batch(values: Sequence[Value], t: Type) -> list[np.ndarray]:
     raise CompileError(f"unknown type {t!r}")
 
 
+def split_batch(
+    fields: Sequence[np.ndarray], t: Type, spans: Sequence[tuple[int, int]]
+) -> list[list[np.ndarray]]:
+    """Slice one canonical batch encoding into per-span field **views**.
+
+    ``fields`` is the :func:`encode_batch` image of a batch of B values of
+    type ``t``; ``spans`` is a list of ``(offset, length)`` ranges along the
+    batch axis (``repro.compiler.batch.split_shards`` produces them).  The
+    result holds, for every span, exactly the field vectors
+    ``encode_batch(values[off:off+length], t)`` would produce — but as
+    NumPy **views into the original arrays**, so splitting a batch B ways
+    costs O(B) descriptor arithmetic, not a re-encode.  This is the
+    span-view entry point the zero-copy shard transport is built on.
+
+    Offsets into nested field groups are not uniform slices: a sequence
+    field's data space is addressed through the segment descriptor (one
+    exclusive prefix sum, computed once per descriptor and shared by every
+    span) and a sum field's packed payloads through its tag prefix counts.
+    The recursion mirrors :func:`encode_batch`'s field order exactly.
+    """
+    out: list[list[np.ndarray]] = [[] for _ in spans]
+    consumed = _split_fields(list(fields), 0, t, list(spans), out)
+    if consumed != len(fields):
+        raise CompileError(
+            f"{len(fields) - consumed} unconsumed fields while splitting {t}"
+        )
+    return out
+
+
+def _exclusive_cumsum(arr: np.ndarray) -> np.ndarray:
+    cum = np.zeros(len(arr) + 1, dtype=np.int64)
+    np.cumsum(arr, out=cum[1:])
+    return cum
+
+
+def _split_fields(
+    fields: list,
+    idx: int,
+    t: Type,
+    spans: list[tuple[int, int]],
+    out: list[list[np.ndarray]],
+) -> int:
+    """Append the ``t``-typed field views for every span; return the next
+    field index.  ``spans`` addresses the *local* batch axis of this field
+    group (each nesting level re-derives its own offsets)."""
+    if isinstance(t, UnitType):
+        return idx
+    if isinstance(t, NatType):
+        arr = fields[idx]
+        for k, (off, length) in enumerate(spans):
+            out[k].append(arr[off : off + length])
+        return idx + 1
+    if isinstance(t, ProdType):
+        idx = _split_fields(fields, idx, t.left, spans, out)
+        return _split_fields(fields, idx, t.right, spans, out)
+    if isinstance(t, SumType):
+        tags = fields[idx]
+        cum = _exclusive_cumsum(tags)  # Inl counts before each position
+        lspans, rspans = [], []
+        for k, (off, length) in enumerate(spans):
+            out[k].append(tags[off : off + length])
+            n_left = int(cum[off + length] - cum[off])
+            lspans.append((int(cum[off]), n_left))
+            rspans.append((off - int(cum[off]), length - n_left))
+        idx = _split_fields(fields, idx + 1, t.left, lspans, out)
+        return _split_fields(fields, idx, t.right, rspans, out)
+    if isinstance(t, SeqType):
+        segs = fields[idx]
+        cum = _exclusive_cumsum(segs)  # element offsets of each batch slot
+        espans = []
+        for k, (off, length) in enumerate(spans):
+            out[k].append(segs[off : off + length])
+            espans.append((int(cum[off]), int(cum[off + length] - cum[off])))
+        return _split_fields(fields, idx + 1, t.elem, espans, out)
+    raise CompileError(f"unknown type {t!r}")
+
+
 def decode_batch(fields: Sequence[Sequence[int]], t: Type, count: int) -> list[Value]:
     """Decode ``count`` S-objects from the canonical batched field vectors.
 

@@ -15,9 +15,22 @@ PR 4) into something a traffic-facing service can sit behind:
 * :class:`ShardExecutor` (:mod:`repro.serving.shard`) — a persistent
   ``multiprocessing`` worker pool.  Batches are split along the batch axis
   into contiguous spans, each span runs its own batched machine on its own
-  core (programs pickled and compiled once per worker), results reassemble
-  order-preserving, and trap indices are re-based to the global batch — the
-  Brent ``O(T' + W'/p)`` work-sharing made real instead of simulated.
+  core, results reassemble order-preserving, and trap indices are re-based
+  to the global batch — the Brent ``O(T' + W'/p)`` work-sharing made real
+  instead of simulated.  Spans travel over the **zero-copy transport**
+  (:mod:`repro.serving.transport`): the batch is encoded once into its flat
+  ``int64`` vectors, spans ship as shared-memory views (pickle-5
+  out-of-band frames where shm is unavailable), and results return the same
+  way — the pickled-S-object round-trip that used to eat the multi-core win
+  is gone.
+
+* :class:`Router` (:mod:`repro.serving.router`) — the multi-process front
+  door: N serving *planes* (each a :class:`Server` over its own
+  :class:`ShardExecutor`), requests routed by consistent hashing on the
+  program's content digest, worker caches pre-warmed from the compile
+  cache, health checks with drain-restarts, and
+  ``ServerMetrics``/SLO state aggregated across planes through one
+  ``metrics_endpoint``.
 
 * :class:`SLOConfig` / :class:`LaneController` (:mod:`repro.serving.slo`) —
   the SLO layer.  Given a ``target_p99_ms``, each program lane AIMD-tunes
@@ -27,17 +40,19 @@ PR 4) into something a traffic-facing service can sit behind:
   (:class:`AdmissionRejected`) or lane-isolating requests predicted to
   blow the SLO.
 
-Both layers warm from the content-addressed compile cache
+All layers warm from the content-addressed compile cache
 (:mod:`repro.cache`) when one is configured: the server compiles through
-it and shard workers read artifacts from it instead of being shipped
-pickled programs.
+it, shard workers read artifacts from it instead of being shipped pickled
+programs, and the router pre-loads every worker before traffic arrives.
 
-Benchmark E11 (``benchmarks/bench_e11_async_serving.py``) measures both
-levels; the differential fuzz battery (``tests/test_fuzz_differential.py``)
-pins interpreter == compiled == batched == sharded across random programs.
+Benchmarks E11 (``benchmarks/bench_e11_async_serving.py``) and E12
+(``benchmarks/bench_e12_router.py``) measure the layers; the differential
+fuzz battery (``tests/test_fuzz_differential.py``) pins interpreter ==
+compiled == batched == sharded == routed across random programs.
 """
 
 from .metrics import ServerMetrics
+from .router import Router, RouterClosed
 from .scheduler import Server, ServerClosed, ServerOverloaded
 from .shard import ShardExecutor, ShardExecutorClosed
 from .slo import AdmissionRejected, LaneController, SLOConfig
@@ -45,6 +60,8 @@ from .slo import AdmissionRejected, LaneController, SLOConfig
 __all__ = [
     "AdmissionRejected",
     "LaneController",
+    "Router",
+    "RouterClosed",
     "SLOConfig",
     "Server",
     "ServerClosed",

@@ -107,13 +107,23 @@ class ServerMetrics:
         Windowed like the latency reservoir, and for the same reason: the
         lifetime average dilutes toward zero after any idle period, so it
         says nothing about the *current* rate.  The divisor is capped at the
-        server's actual age, so a young server isn't under-reported.  The
+        server's actual age, so a young server isn't under-reported — but
+        never below one second: right after startup the age can be
+        microseconds, and dividing a single completion by it reported
+        absurd six-figure rates (one request 50µs after start is not
+        20,000 req/s).  A sub-second-old server, or a window holding a
+        single completion, therefore reports at most ``n`` req/s.  The
         lifetime figure survives as :meth:`lifetime_requests_per_sec`.
         """
         now = self._clock()
         self._evict_completions(now)
+        n = len(self._completions)
+        if n == 0:
+            return 0.0
         elapsed = min(self.rate_window_s, now - self.started_at)
-        return len(self._completions) / elapsed if elapsed > 0 else 0.0
+        if n == 1 or elapsed < 1.0:
+            elapsed = max(elapsed, 1.0)
+        return n / elapsed
 
     def lifetime_requests_per_sec(self) -> float:
         """Finished requests (values + traps) per second of server lifetime."""

@@ -182,6 +182,14 @@ class LaneController:
             return
         self.alpha_s = max(fit.alpha_s, 0.0)
         self.beta_s = max(fit.beta_s, 0.0)
+        if self.beta_s == 0.0:
+            # Degenerate fit (collinear blocks or timer noise priced W' at
+            # <= 0): with beta 0 a prediction never scales with request
+            # size, so admission control would be silently off.  Price the
+            # whole measured wall on W' instead — conservative: large
+            # requests are over-, never under-predicted.
+            self.alpha_s = 0.0
+            self.beta_s = max(report.wall_s, 1e-9) / report.work
         self.t_cal = report.time
         self.w_cal = report.work
         self.size_cal = max(size, 1.0)

@@ -11,7 +11,13 @@ record):
 * ``run_batch`` over the whole input set (the batched twin, with
   ``return_exceptions=True`` isolation);
 * the multi-core shard path (:class:`repro.serving.ShardExecutor`, two
-  workers) with global trap-index attribution.
+  workers) with global trap-index attribution — over **both** zero-copy
+  transports (``shm`` shared-memory views and the ``oob`` pickle-5
+  out-of-band fallback; see :mod:`repro.serving.transport`);
+* the routed path (:class:`repro.serving.Router`, two planes, consistent
+  hashing on the program digest), whose trap indices must stay global to
+  the submitted batch across *two* process boundaries (router plane and
+  shard worker).
 
 Tier-1 runs ``FUZZ_CASES`` (default 200) cases under the fixed
 ``FUZZ_SEED``; the nightly CI job raises ``FUZZ_CASES`` to 2000.  Cases are
@@ -35,7 +41,7 @@ from repro.compiler import compile_nsc
 from repro.compiler.batch import BatchError
 from repro.nsc.eval import NSCEvalError, apply_function
 from repro.nsc.values import from_python
-from repro.serving import ShardExecutor
+from repro.serving import Router, ShardExecutor
 
 BASE_SEED = int(os.environ.get("FUZZ_SEED", "20260726"))
 N_CASES = int(os.environ.get("FUZZ_CASES", "200"))
@@ -74,7 +80,7 @@ def _slot_outcome(res):
     return TRAP if isinstance(res, BatchError) else ("value", res)
 
 
-def _check_case(case, executor) -> list[str]:
+def _check_case(case, executor, oob_executor, router) -> list[str]:
     """All divergence descriptions for one case (empty = the case passes)."""
     fn = case.fn
     prog0 = compile_nsc(fn, opt_level=0)
@@ -113,31 +119,59 @@ def _check_case(case, executor) -> list[str]:
             f"batched run silently fell back: {prog2._batch_fallback_error}"
         )
 
-    sharded = executor.run_batch(prog2, values, shards=2, return_exceptions=True)
-    for i, res in enumerate(sharded):
-        expect("sharded", i, _slot_outcome(res))
+    for engine, ex in (("sharded/shm", executor), ("sharded/oob", oob_executor)):
+        sharded = ex.run_batch(prog2, values, shards=2, return_exceptions=True)
+        for i, res in enumerate(sharded):
+            expect(engine, i, _slot_outcome(res))
+            if isinstance(res, BatchError) and res.index != i:
+                problems.append(
+                    f"{engine} trap at slot {i} carries global index {res.index}"
+                )
+
+    routed = router.run_batch(prog2, values, shards=2, return_exceptions=True)
+    for i, res in enumerate(routed):
+        expect("routed", i, _slot_outcome(res))
         if isinstance(res, BatchError) and res.index != i:
             problems.append(
-                f"sharded trap at slot {i} carries global index {res.index}"
+                f"routed trap at slot {i} carries global index {res.index}"
             )
     return problems
 
 
 @pytest.fixture(scope="module")
 def shard_executor():
-    ex = ShardExecutor(n_workers=2)
+    ex = ShardExecutor(n_workers=2, transport="shm")
+    yield ex
+    assert ex._ledger.live() == [], "shm segments leaked across fuzz cases"
+    ex.close()
+    assert ex.leaked_segments == []
+
+
+@pytest.fixture(scope="module")
+def oob_executor():
+    ex = ShardExecutor(n_workers=2, transport="oob")
     yield ex
     ex.close()
 
 
+@pytest.fixture(scope="module")
+def router():
+    r = Router(planes=2, workers_per_plane=1, cache=None)
+    yield r
+    import asyncio
+
+    asyncio.run(r.close())
+    assert r.leaked_segments == []
+
+
 @pytest.mark.parametrize("chunk", range(N_CHUNKS))
-def test_fuzz_differential(chunk, shard_executor):
+def test_fuzz_differential(chunk, shard_executor, oob_executor, router):
     failures = []
     for i in range(chunk, N_CASES, N_CHUNKS):
         seed = BASE_SEED + i
         try:
             case = gen_case(seed)
-            problems = _check_case(case, shard_executor)
+            problems = _check_case(case, shard_executor, oob_executor, router)
         except Exception as e:  # CompileError, encoder crash, ...: all bugs
             problems = [f"engine crash: {type(e).__name__}: {e}"]
         if problems:

@@ -385,11 +385,18 @@ def test_requests_per_sec_windowed_vs_lifetime():
 def test_requests_per_sec_young_server_divisor_capped():
     clock = _FakeClock()
     m = ServerMetrics(clock=clock, rate_window_s=30.0)
-    clock.t = 0.5
-    for _ in range(5):
+    clock.t = 2.0
+    for _ in range(10):
         m.observe_request(0.01, ok=True)
-    # divisor is the server age (0.5s), not the 30s window
-    assert m.requests_per_sec() == pytest.approx(10.0)
+    # divisor is the server age (2s), not the 30s window
+    assert m.requests_per_sec() == pytest.approx(5.0)
+    # but never less than one second: a sub-second-old server must not
+    # report inflated six-figure rates from a handful of completions
+    m2 = ServerMetrics(clock=clock, rate_window_s=30.0)
+    clock.t = 2.0005
+    for _ in range(5):
+        m2.observe_request(0.01, ok=True)
+    assert m2.requests_per_sec() == pytest.approx(5.0)
 
 
 def test_requests_per_sec_zero_elapsed():

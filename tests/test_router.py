@@ -1,0 +1,214 @@
+"""The multi-process router: digest routing, failover, warm-up, drain-restart.
+
+The router's contract: routing is a *pure function* of the program digest
+and the set of healthy planes (same program, same plane, every time — the
+property that makes per-plane caches worth warming); an unhealthy plane's
+digests fail over deterministically to ring neighbours and come back after
+the restart; warm-up reaches every plane and survives a drain-restart; and
+the aggregated metrics pool raw latency windows rather than averaging
+per-plane percentiles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.compiler import BatchError, compile_nsc
+from repro.nsc import builder as B
+from repro.nsc.types import NAT, SeqType
+from repro.obs.export import aggregate_server_snapshots
+from repro.serving import Router, RouterClosed
+from repro.serving.metrics import ServerMetrics
+
+
+def _affine_fn(mul=7, add=3):
+    x = B.gensym("x")
+    return B.map_(B.lam(x, NAT, B.mod(B.add(B.mul(B.v(x), mul), add), 101)))
+
+
+def _get_fn():
+    x = B.gensym("x")
+    return B.lam(x, SeqType(NAT), B.get_(B.v(x)))
+
+
+@pytest.fixture(scope="module")
+def router():
+    r = Router(planes=2, workers_per_plane=1)
+    yield r
+    asyncio.run(r.close())
+    assert r.leaked_segments == []
+
+
+def test_routing_is_deterministic(router):
+    prog = compile_nsc(_affine_fn())
+    digest = router.digest(prog)
+    assert router.digest(prog) == digest  # memoized and stable
+    plane = router.plane_for(digest)
+    assert all(router.plane_for(digest) is plane for _ in range(10))
+
+
+def test_distinct_programs_spread_over_planes(router):
+    # 16 distinct programs through a 2-plane/96-vnode ring: both planes
+    # must receive some share (a fully lopsided split means the hash or the
+    # ring walk is broken)
+    progs = [compile_nsc(_affine_fn(mul=3 + i, add=i)) for i in range(16)]
+    homes = {router.plane_for(router.digest(p)).index for p in progs}
+    assert homes == {0, 1}
+
+
+def test_run_batch_routes_and_rebases_traps(router):
+    get_prog = compile_nsc(_get_fn())
+    batch = [[i] for i in range(8)]
+    batch[5] = []  # traps
+    results = router.run_batch(get_prog, batch, shards=2, return_exceptions=True)
+    for i, res in enumerate(results):
+        if i == 5:
+            assert isinstance(res, BatchError) and res.index == 5
+        else:
+            assert res == get_prog.run(batch[i])[0]
+    with pytest.raises(BatchError) as ei:
+        router.run_batch(get_prog, batch, shards=2)
+    assert ei.value.index == 5
+
+
+def test_failover_and_recovery(router):
+    prog = compile_nsc(_affine_fn(mul=11, add=5))
+    digest = router.digest(prog)
+    home = router.plane_for(digest)
+    other = router._planes[1 - home.index]
+    before = router.failovers
+    home.healthy = False
+    try:
+        failed_over = router.plane_for(digest)
+        assert failed_over is other
+        assert router.failovers == before + 1
+        # the routed request actually lands and computes on the neighbour
+        batch = [[1, 2, 3]]
+        assert router.run_batch(prog, batch) == prog.run_batch(batch)
+    finally:
+        home.healthy = True
+    assert router.plane_for(digest) is home  # recovery restores the home plane
+
+
+def test_submit_through_scheduler(router):
+    prog = compile_nsc(_affine_fn())
+
+    async def main():
+        results = await asyncio.gather(
+            *(router.submit(prog, [i, i + 1]) for i in range(12))
+        )
+        return results
+
+    results = asyncio.run(main())
+    for i, res in enumerate(results):
+        assert res == prog.run([i, i + 1])[0]
+
+
+def test_warm_and_drain_restart(tmp_path):
+    async def main():
+        r = Router(planes=2, workers_per_plane=1, cache=str(tmp_path))
+        try:
+            fn = _affine_fn()
+            loaded = r.warm([fn])
+            assert loaded == 2  # every plane's single worker loaded it
+            batch = [[1, 2], [3, 4]]
+            expected = r.run_batch(fn, batch)
+
+            leaked = await r.restart_plane(0)
+            assert leaked == []
+            assert r._planes[0].restarts == 1 and r._planes[0].healthy
+            # the rebuilt plane was re-warmed from the remembered set
+            assert r.warm_loads >= 3
+            assert r.run_batch(fn, batch) == expected
+
+            report = r.health_check()
+            assert report[0]["healthy"] and report[1]["healthy"]
+            assert all(v["workers_alive"] == 1 for v in report.values())
+        finally:
+            await r.close()
+        assert r.leaked_segments == []
+
+    asyncio.run(main())
+
+
+def test_health_check_respawns_dead_workers(router):
+    victim = router._planes[0].executor._workers[0]
+    victim.process.terminate()
+    victim.process.join(timeout=5)
+    report = router.health_check()
+    assert report[0]["respawned"] == 1
+    assert all(v["workers_alive"] == 1 for v in report.values())
+
+
+def test_metrics_endpoint_aggregates(router):
+    prog = compile_nsc(_affine_fn())
+
+    async def main():
+        await asyncio.gather(*(router.submit(prog, [i]) for i in range(8)))
+        ct_json, body = await router.metrics_endpoint("json")
+        ct_prom, prom = await router.metrics_endpoint("prometheus")
+        return ct_json, body, ct_prom, prom
+
+    ct_json, body, ct_prom, prom = asyncio.run(main())
+    import json
+
+    assert ct_json == "application/json"
+    doc = json.loads(body)
+    assert doc["aggregate"]["completed"] == sum(
+        p["server"]["completed"] for p in doc["planes"]
+    )
+    assert doc["router"]["planes"] == 2
+    assert doc["router"]["routed"] > 0
+    assert len(doc["planes"]) == 2
+
+    assert ct_prom.startswith("text/plain")
+    assert "repro_router_completed" in prom
+    assert 'plane="0"' in prom and 'plane="1"' in prom
+    with pytest.raises(ValueError):
+        asyncio.run(router.metrics_endpoint("xml"))
+
+
+def test_aggregate_pools_raw_latencies():
+    # two planes with very different tails: the pooled p99 must come from
+    # the union of the windows, not an average of per-plane percentiles
+    fast, slow = ServerMetrics(), ServerMetrics()
+    for _ in range(99):
+        fast.observe_request(0.001, ok=True)
+    for _ in range(10):
+        slow.observe_request(0.001, ok=True)
+    slow.observe_request(1.0, ok=True)  # the lightly-loaded plane's p99
+    snaps = [fast.snapshot(), slow.snapshot()]
+    agg = aggregate_server_snapshots(
+        snaps, latencies=[list(fast._latencies), list(slow._latencies)]
+    )
+    assert agg["completed"] == 110
+    # pooled: the outlier is the top 1% of 110 samples -> p99 stays 1ms
+    assert agg["p99_latency_s"] == pytest.approx(0.001)
+    # but it dominates the max-of-planes fallback (no raw windows provided)
+    fallback = aggregate_server_snapshots(snaps)
+    assert fallback["p99_latency_s"] == pytest.approx(1.0)
+
+
+def test_closed_router_rejects():
+    async def main():
+        r = Router(planes=1, workers_per_plane=1)
+        await r.close()
+        await r.close()  # idempotent
+        prog = compile_nsc(_affine_fn())
+        with pytest.raises(RouterClosed):
+            r.run_batch(prog, [[1]])
+        with pytest.raises(RouterClosed):
+            await r.submit(prog, [1])
+        with pytest.raises(RouterClosed):
+            r.warm([prog])
+
+    asyncio.run(main())
+
+
+def test_router_rejects_bad_config():
+    with pytest.raises(ValueError):
+        Router(planes=0)
+    with pytest.raises(ValueError):
+        Router(planes=1, virtual_nodes=0)

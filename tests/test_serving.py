@@ -259,3 +259,28 @@ def test_metrics_snapshot_shape(affine_prog):
     assert metrics.latency_percentile(0.0) <= metrics.latency_percentile(100.0)
     with pytest.raises(ValueError):
         metrics.latency_percentile(101.0)
+
+
+def test_requests_per_sec_not_inflated_by_startup(monkeypatch):
+    # regression: right after startup the rate divided one completion by a
+    # microsecond-scale server age -- 50us after boot, one finished request
+    # reported as ~20,000 req/s.  A fake clock pins the exact arithmetic.
+    from repro.serving.metrics import ServerMetrics
+
+    now = [1000.0]
+    m = ServerMetrics(clock=lambda: now[0])
+    assert m.requests_per_sec() == 0.0  # no completions, no rate
+
+    now[0] += 50e-6  # one request, 50 microseconds in
+    m.observe_request(40e-6, ok=True)
+    assert m.requests_per_sec() == pytest.approx(1.0)  # not 20,000
+
+    # a lone completion never reports more than n/1s, however young the server
+    now[0] += 0.5
+    assert m.requests_per_sec() == pytest.approx(1.0)
+
+    # with age past the guard the honest windowed rate comes through
+    for _ in range(9):
+        m.observe_request(1e-3, ok=True)
+    now[0] += 4.5  # server age now ~5.0s, 10 completions in the window
+    assert m.requests_per_sec() == pytest.approx(10 / 5.0, rel=1e-3)

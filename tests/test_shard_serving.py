@@ -11,13 +11,17 @@ appears when ``shards`` exceeds the batch size.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.cache.store import CompileCache
 from repro.compiler import BatchError, compile_nsc
 from repro.compiler.batch import split_shards
 from repro.nsc import builder as B
 from repro.nsc.types import NAT, SeqType
 from repro.serving import ShardExecutor, ShardExecutorClosed
+from repro.serving import transport as _tp
 
 
 def _get_fn():
@@ -174,3 +178,120 @@ def test_survives_worker_death(executor, get_prog):
     assert all(w.process.is_alive() for w in executor._workers)
     # and the respawned worker serves the following batch normally
     assert executor.run_batch(get_prog, batch, shards=2) == expected
+
+
+# -- zero-copy transports -----------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", ["shm", "oob", "pickle"])
+def test_transports_agree_including_traps(transport, get_prog):
+    ex = ShardExecutor(n_workers=2, transport=transport)
+    try:
+        batch = [[i] for i in range(8)]
+        batch[3] = []  # traps in an interior shard
+        results = ex.run_batch(get_prog, batch, shards=4, return_exceptions=True)
+        for i, res in enumerate(results):
+            if i == 3:
+                assert isinstance(res, BatchError) and res.index == 3
+            else:
+                assert res == get_prog.run(batch[i])[0]
+        with pytest.raises(BatchError) as ei:
+            ex.run_batch(get_prog, batch, shards=4)
+        assert ei.value.index == 3
+        assert ex._ledger.live() == []  # no batch leaves a live segment
+    finally:
+        ex.close()
+    assert ex.leaked_segments == []
+
+
+@pytest.mark.skipif(not _tp.shm_available(), reason="no shared memory here")
+def test_shm_segments_released_on_close(get_prog):
+    # the leak check the ISSUE demands: after any mix of clean batches,
+    # traps and a worker death, close() finds nothing still referenced
+    ex = ShardExecutor(n_workers=2, transport="shm")
+    batch = [[i] for i in range(12)]
+    ex.run_batch(get_prog, batch, shards=3)
+    batch[5] = []
+    ex.run_batch(get_prog, batch, shards=3, return_exceptions=True)
+    ex._workers[0].process.terminate()
+    ex._workers[0].process.join(timeout=5)
+    ex.run_batch(get_prog, batch, shards=3, return_exceptions=True)
+    assert ex._ledger.live() == []
+    ex.close()
+    assert ex.leaked_segments == []
+
+
+def test_kill_during_result_put_does_not_wedge():
+    # regression: workers used to share ONE result queue, so a worker killed
+    # while its feeder thread was mid-put left a partial frame every later
+    # read would block on.  Per-worker queues mean a dead worker's queue is
+    # simply never read.  Provoke the old failure: park an oversized result
+    # (far beyond the 64KB pipe buffer) in a worker's feeder, kill it
+    # mid-write, then prove the executor still serves.
+    from repro.serving.shard import _KIND_SPAN
+
+    ex = ShardExecutor(n_workers=2, transport="pickle")
+    try:
+        prog = compile_nsc(_affine_fn())
+        key, blob, _digest = ex._blob_for(prog)
+        victim = ex._workers[0]
+        big = [list(range(60_000))]  # result pickle ~ several hundred KB
+        victim.in_q.put(
+            (_KIND_SPAN, 10**9, 0, key, blob, None, ("pickle", big), 1,
+             10_000_000, None)
+        )
+        time.sleep(1.0)  # let the worker compute and block writing the result
+        victim.process.kill()
+        victim.process.join(timeout=5)
+        batch = [[i, i + 1] for i in range(8)]
+        expected = prog.run_batch(batch)
+        assert ex.run_batch(prog, batch, shards=2) == expected
+        assert all(w.process.is_alive() for w in ex._workers)
+        assert ex.run_batch(prog, batch, shards=2) == expected
+    finally:
+        ex.close()
+
+
+# -- compile-cache cold sends -------------------------------------------------
+
+
+def test_artifact_evicted_between_send_and_read(tmp_path):
+    # regression: the optimistic digest-only send assumes the worker can read
+    # the artifact the parent just wrote.  Evict it in between: every span's
+    # need_prog must resolve (blob resent), the re-ship is counted ONCE per
+    # worker (not once per span), and none of it counts as a cache warm.
+    cache = CompileCache(str(tmp_path))
+    ex = ShardExecutor(n_workers=1, cache=cache)
+    try:
+        prog = compile_nsc(_affine_fn(), cache=None)
+        batch = [[1, 2, 3], [4, 5], [6], [7, 8, 9]]
+        expected = prog.run_batch(batch)
+        ex._blob_for(prog)  # writes the artifact and memoizes the digest
+        for p in tmp_path.rglob("*"):
+            if p.is_file():
+                p.unlink()  # the "LRU eviction" between send and read
+        assert ex.run_batch(prog, batch, shards=4) == expected
+        stats = ex._workers[0].stats
+        assert stats["need_prog"] == 1, "program re-ship double-counted"
+        assert stats["cache_warm"] == 0, "a cold resend is not a cache warm"
+        # the blob landed: later batches need no further round-trips
+        assert ex.run_batch(prog, batch, shards=4) == expected
+        assert ex._workers[0].stats["need_prog"] == 1
+    finally:
+        ex.close()
+
+
+def test_warm_preloads_worker_caches(tmp_path):
+    cache = CompileCache(str(tmp_path))
+    ex = ShardExecutor(n_workers=2, cache=cache)
+    try:
+        prog = compile_nsc(_affine_fn(), cache=None)
+        assert ex.warm([prog]) == 2  # one artifact load per worker
+        batch = [[1, 2], [3, 4], [5, 6], [7, 8]]
+        assert ex.run_batch(prog, batch, shards=2) == prog.run_batch(batch)
+        assert sum(w.stats["need_prog"] for w in ex._workers) == 0
+        assert sum(w.stats["warm_loads"] for w in ex._workers) == 2
+        # the digest-only cold sends were served entirely from the warmed store
+        assert sum(w.stats["cache_warm"] for w in ex._workers) == 2
+    finally:
+        ex.close()

@@ -265,3 +265,28 @@ def test_slo_off_keeps_classic_scheduler():
 
     outs = asyncio.run(main())
     assert [str(o) for o in outs] == [f"[{(i * 7 + 3) % 101}]" for i in range(20)]
+
+
+def test_calibrate_degenerate_fit_falls_back_to_work_pricing(monkeypatch):
+    # a least-squares fit over collinear/noisy blocks can price W' at <= 0;
+    # calibration must not accept it as-is (beta 0 means predictions never
+    # scale with size — admission silently off).  The fallback prices the
+    # whole measured wall on W', which is conservative for big requests.
+    from repro.compiler import compile_nsc
+    from repro.obs import costcheck
+
+    monkeypatch.setattr(
+        costcheck,
+        "cost_check",
+        lambda report: costcheck.CostReport(5.0, -1.0, 0.0, []),
+    )
+    cfg = SLOConfig(target_p99_ms=50.0, admit_factor=8.0)
+    ctrl = LaneController(cfg, hard_max_batch=64, hard_max_delay_s=0.1)
+    ctrl.calibrate(compile_nsc(_affine_fn()), [1, 2, 3, 4])
+    assert ctrl.calibrated
+    assert ctrl.alpha_s == 0.0 and ctrl.beta_s > 0.0
+    small = ctrl.predict_request_s([1, 2, 3, 4])
+    big = ctrl.predict_request_s(list(range(1000)))
+    assert big > 8.0 * small  # predictions scale with request size again
+    assert ctrl.classify(list(range(1000))) == "reject"
+    assert ctrl.classify([1, 2, 3, 4]) is None
